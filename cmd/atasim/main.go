@@ -1,0 +1,199 @@
+// Command atasim runs one ATA reliable broadcast on the simulator and
+// reports timing, contention, and delivery statistics.
+//
+// Usage:
+//
+//	atasim -net Q6 -algo ihc -eta 2
+//	atasim -net SQ8 -algo vsq
+//	atasim -net Q6 -algo ihc -eta 2 -rho 0.5 -seed 7
+//	atasim -net H3 -algo ks -saturated
+//	atasim -net Q6 -algo frs
+//	atasim -net Q6 -algo vrs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ihc/internal/baseline/atarun"
+	"ihc/internal/baseline/frs"
+	"ihc/internal/baseline/ks"
+	"ihc/internal/baseline/rs"
+	"ihc/internal/baseline/vsq"
+	"ihc/internal/core"
+	"ihc/internal/hamilton"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+func main() {
+	var (
+		net       = flag.String("net", "Q4", "network: Q<m>, SQ<m>, or H<m>")
+		algo      = flag.String("algo", "ihc", "algorithm: ihc, vrs, ks, vsq, frs")
+		eta       = flag.Int("eta", 2, "IHC interleaving distance η")
+		overlap   = flag.Bool("overlap", false, "IHC: overlap stages (modified algorithm)")
+		taus      = flag.Int64("taus", 100, "startup τ_S (ticks)")
+		alpha     = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
+		mu        = flag.Int("mu", 2, "packet length μ (FIFO units)")
+		d         = flag.Int64("d", 37, "queueing delay D (ticks)")
+		rho       = flag.Float64("rho", 0, "background link load ρ in [0,1)")
+		seed      = flag.Int64("seed", 1, "background traffic seed")
+		saturated = flag.Bool("saturated", false, "heavy-traffic limiting regime (Table IV)")
+		verify    = flag.Bool("verify", true, "verify the γ-copy ATA delivery postcondition")
+	)
+	flag.Parse()
+
+	p := simnet.Params{
+		TauS: simnet.Time(*taus), Alpha: simnet.Time(*alpha), Mu: *mu,
+		D: simnet.Time(*d), Rho: *rho, Seed: *seed,
+	}
+	g, err := buildGraph(*net)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *algo {
+	case "ihc":
+		cycles, err := hamilton.Decompose(g)
+		if err != nil {
+			fail(err)
+		}
+		x, err := core.New(g, cycles)
+		if err != nil {
+			fail(err)
+		}
+		res, err := x.Run(core.Config{
+			Eta: *eta, Params: p, Overlap: *overlap, Saturated: *saturated,
+			SkipCopies: !*verify,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("IHC on %s: η=%d γ=%d\n", g.Name(), *eta, x.Gamma())
+		fmt.Printf("finish:       %d ticks\n", res.Finish)
+		fmt.Printf("injections:   %d packets (γN)\n", res.Injections)
+		fmt.Printf("deliveries:   %d copies (γN(N-1))\n", res.Deliveries)
+		fmt.Printf("cut-throughs: %d   buffered: %d   stalls: %d\n", res.CutThroughs, res.BufferedHops, res.Stalls)
+		fmt.Printf("contentions:  %d   bg-blocked: %d\n", res.Contentions, res.BgBlocked)
+		fmt.Printf("utilization:  %.3f of link capacity\n", res.Utilization(2*g.M()))
+		if *verify && res.Copies != nil {
+			if err := res.Copies.VerifyATA(x.Gamma()); err != nil {
+				fail(fmt.Errorf("ATA postcondition violated: %w", err))
+			}
+			fmt.Printf("verified:     every node holds %d copies of every other node's message\n", x.Gamma())
+		}
+
+	case "vrs", "ks", "vsq":
+		res, gamma, err := runSerialized(*algo, g, p, atarun.Options{Copies: *verify, Saturated: *saturated})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s-ATA on %s (serialized, one broadcast per node)\n", strings.ToUpper(*algo), g.Name())
+		fmt.Printf("finish:       %d ticks\n", res.Finish)
+		fmt.Printf("per broadcast: %d ticks\n", res.BroadcastFinish[0])
+		fmt.Printf("cut-throughs: %d   buffered: %d   contentions: %d\n", res.CutThroughs, res.BufferedHops, res.Contentions)
+		if *verify && res.Copies != nil {
+			if err := res.Copies.VerifyATA(gamma); err != nil {
+				fail(fmt.Errorf("ATA postcondition violated: %w", err))
+			}
+			fmt.Printf("verified:     every node holds %d copies of every other node's message\n", gamma)
+		}
+
+	case "frs":
+		m, ok := hypercubeDim(g)
+		if !ok {
+			fail(fmt.Errorf("frs runs on hypercubes only, got %s", g.Name()))
+		}
+		res, err := frs.Run(m, p, *verify)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("FRS on %s (lock-step store-and-forward with merging)\n", g.Name())
+		fmt.Printf("finish:       %d ticks\n", res.Finish)
+		fmt.Printf("injections:   %d link-step packets\n", res.Injections)
+		fmt.Printf("contentions:  %d\n", res.Contentions)
+		if *verify && res.Copies != nil {
+			if err := res.Copies.VerifyATA(m); err != nil {
+				fail(fmt.Errorf("ATA postcondition violated: %w", err))
+			}
+			fmt.Printf("verified:     every node holds %d copies of every other node's message\n", m)
+		}
+
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func runSerialized(algo string, g *topology.Graph, p simnet.Params, opts atarun.Options) (*atarun.Result, int, error) {
+	switch algo {
+	case "vrs":
+		m, ok := hypercubeDim(g)
+		if !ok {
+			return nil, 0, fmt.Errorf("vrs runs on hypercubes only, got %s", g.Name())
+		}
+		res, err := rs.ATA(m, p, opts)
+		return res, m, err
+	case "ks":
+		m, ok := sizeOf(g, "H")
+		if !ok {
+			return nil, 0, fmt.Errorf("ks runs on hex meshes only, got %s", g.Name())
+		}
+		res, err := ks.ATA(m, p, opts)
+		return res, 6, err
+	default: // vsq
+		m, ok := sizeOf(g, "SQ")
+		if !ok {
+			return nil, 0, fmt.Errorf("vsq runs on square tori only, got %s", g.Name())
+		}
+		res, err := vsq.ATA(m, p, opts)
+		return res, 4, err
+	}
+}
+
+func hypercubeDim(g *topology.Graph) (int, bool) {
+	return sizeOf(g, "Q")
+}
+
+func sizeOf(g *topology.Graph, prefix string) (int, bool) {
+	name := g.Name()
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	m, err := strconv.Atoi(name[len(prefix):])
+	return m, err == nil
+}
+
+func buildGraph(name string) (*topology.Graph, error) {
+	if m, ok := parseNet(name, "SQ"); ok {
+		return topology.SquareTorus(m), nil
+	}
+	if dims, ok := topology.TorusDims(name); ok {
+		return topology.TorusND(dims...), nil
+	}
+	if m, ok := parseNet(name, "Q"); ok {
+		return topology.Hypercube(m), nil
+	}
+	if m, ok := parseNet(name, "H"); ok {
+		return topology.HexMesh(m), nil
+	}
+	return nil, fmt.Errorf("atasim: cannot parse network %q (want Q<m>, SQ<m>, H<m>, or T<k1>x<k2>x...)", name)
+}
+
+func parseNet(name, prefix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	m, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || m <= 0 {
+		return 0, false
+	}
+	return m, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command ihcbench regenerates the paper's evaluation: every table and
+// figure, model-vs-measured, rendered as text tables.
+//
+// Usage:
+//
+//	ihcbench                  # run everything at full size
+//	ihcbench -quick           # small networks (seconds)
+//	ihcbench -run table2      # one experiment by id
+//	ihcbench -list            # list experiment ids
+//	ihcbench -taus 100 -alpha 20 -mu 2 -d 37   # timing overrides
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ihc/internal/harness"
+	"ihc/internal/simnet"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "use small network sizes")
+		run   = flag.String("run", "", "run a single experiment id (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		taus  = flag.Int64("taus", 100, "message startup time τ_S (ticks)")
+		alpha = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
+		mu    = flag.Int("mu", 2, "packet length μ (FIFO-buffer units)")
+		d     = flag.Int64("d", 37, "queueing delay D (ticks)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-12s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{
+		Quick: *quick,
+		Params: simnet.Params{
+			TauS:  simnet.Time(*taus),
+			Alpha: simnet.Time(*alpha),
+			Mu:    *mu,
+			D:     simnet.Time(*d),
+		},
+	}
+
+	exps := harness.All()
+	if *run != "" {
+		e, err := harness.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range exps {
+		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Paper, e.Title)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAILED %s: %v\n\n", e.ID, err)
+			failures++
+			continue
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

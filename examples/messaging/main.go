@@ -1,0 +1,59 @@
+// Messaging: the "practical issues" layer — packet format, fragmentation,
+// and message reconstruction (the paper's Section VII) — doing a complete
+// application-level exchange: every node broadcasts a variable-length,
+// signed status report; every node reconstructs all of them.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ihc"
+	"ihc/internal/message"
+	"ihc/internal/reliable"
+)
+
+func main() {
+	x, err := ihc.NewHexMesh(3) // the 19-node HARTS configuration
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := x.N()
+	p := ihc.DefaultParams()
+	p.Mu = 1         // η = μ = 1: N = 19 is odd, so η = 2 would have a wrap seam
+	const bFIFO = 64 // receiver FIFO bytes; packet = μ·B_FIFO = 64 bytes
+
+	kr := reliable.NewKeyring(n, 1234)
+	capacity := message.PayloadCapacity(p.Mu, bFIFO, true)
+	fmt.Printf("packet: %d bytes = %d header + %d payload + %d MAC\n",
+		p.Mu*bFIFO, message.HeaderSize, capacity, message.MACSize)
+
+	// Every node authors a report; lengths vary so short senders pad.
+	msgs := make([][]byte, n)
+	for v := range msgs {
+		msgs[v] = []byte(fmt.Sprintf("node %02d: temp=%dC, queue=%d, uptime=%d days — %s",
+			v, 35+v%7, v*3%11, 100+v, bytes.Repeat([]byte("ok "), v%5+1)))
+	}
+
+	res, err := message.Broadcast(x, msgs, p, 1, bFIFO, kr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exchange: %d rounds of IHC ATA broadcast, %d ticks total, %d contentions, %d rejected copies\n",
+		res.Rounds, res.Finish, res.Contentions, res.Rejected)
+
+	for v := 0; v < n; v++ {
+		for s := 0; s < n; s++ {
+			if v == s {
+				continue
+			}
+			if !bytes.Equal(res.Messages[v][s], msgs[s]) {
+				log.Fatalf("node %d reconstructed node %d's report incorrectly", v, s)
+			}
+		}
+	}
+	fmt.Printf("verified: all %d nodes reconstructed all %d reports exactly (γ=%d redundant copies per fragment)\n",
+		n, n, x.Gamma())
+	fmt.Printf("sample, as seen by node 7: %q\n", res.Messages[7][0])
+}

@@ -1,0 +1,3 @@
+module ihc
+
+go 1.22

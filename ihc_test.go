@@ -1,0 +1,127 @@
+package ihc
+
+import (
+	"testing"
+
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	x, err := NewHypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Run(Config{Eta: 2, Params: DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contentions != 0 {
+		t.Fatalf("contentions = %d", res.Contentions)
+	}
+	if err := res.Copies.VerifyATA(4); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	want := 2 * (p.TauS + Time(p.Mu)*p.Alpha + 14*p.Alpha)
+	if res.Finish != want {
+		t.Fatalf("finish = %d, want %d", res.Finish, want)
+	}
+}
+
+func TestFacadeFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*IHC, error)
+		gamma int
+	}{
+		{"Q5", func() (*IHC, error) { return NewHypercube(5) }, 4},
+		{"SQ5", func() (*IHC, error) { return NewSquareTorus(5) }, 4},
+		{"H3", func() (*IHC, error) { return NewHexMesh(3) }, 6},
+	} {
+		x, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if x.Gamma() != tc.gamma {
+			t.Fatalf("%s: γ = %d, want %d", tc.name, x.Gamma(), tc.gamma)
+		}
+	}
+}
+
+func TestFacadeRejectsBadSizes(t *testing.T) {
+	if _, err := NewHypercube(1); err == nil {
+		t.Fatal("Q1 accepted")
+	}
+	if _, err := NewSquareTorus(2); err == nil {
+		t.Fatal("SQ2 accepted")
+	}
+	if _, err := NewHexMesh(1); err == nil {
+		t.Fatal("H1 accepted")
+	}
+	if _, err := New(topology.Complete(6)); err == nil {
+		t.Fatal("K6 accepted without cycles")
+	}
+}
+
+func TestNewWithCyclesCustomNetwork(t *testing.T) {
+	// A 6-cycle is 2-regular with one HC: class Λ with γ = 2.
+	g := topology.Cycle(6)
+	x, err := NewWithCycles(g, []Cycle{{0, 1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Run(Config{Eta: 1, Params: Params{TauS: 10, Alpha: 1, Mu: 1, Mode: simnet.VirtualCutThrough}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Copies.VerifyATA(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadlineParams(t *testing.T) {
+	p := HeadlineParams()
+	if p.TauS != 500_000 || p.Alpha != 20 || p.Mu != 2 {
+		t.Fatalf("headline params = %+v", p)
+	}
+}
+
+// IHC on a 3-dimensional torus: class Λ with γ = 6, contention-free, the
+// Table II closed form, and six copies delivered everywhere.
+func TestFacadeTorusND(t *testing.T) {
+	x, err := NewTorusND(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Gamma() != 6 {
+		t.Fatalf("γ = %d, want 6", x.Gamma())
+	}
+	p := DefaultParams()
+	res, err := x.Run(Config{Eta: 2, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contentions != 0 {
+		t.Fatalf("contentions = %d", res.Contentions)
+	}
+	want := 2 * (p.TauS + Time(p.Mu)*p.Alpha + Time(64-2)*p.Alpha)
+	if res.Finish != want {
+		t.Fatalf("finish = %d, want %d", res.Finish, want)
+	}
+	if err := res.Copies.VerifyATA(6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTorusNDRejectsBadDims(t *testing.T) {
+	if _, err := NewTorusND(); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if _, err := NewTorusND(4, 2); err == nil {
+		t.Fatal("dim 2 accepted")
+	}
+	if _, err := NewTorusND(4, 4, 3); err == nil {
+		t.Fatal("unsupported mix silently accepted")
+	}
+}

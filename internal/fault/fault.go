@@ -1,0 +1,204 @@
+// Package fault defines the fault models used to exercise the *reliable*
+// part of ATA reliable broadcast: Byzantine processors that may corrupt,
+// drop, or differently retransmit messages they relay, crashed
+// processors, and broken links. Injection operates at the packet-route
+// level: given a broadcast packet's route and the tee-copy receivers
+// along it, the injector determines which receivers obtain the copy and
+// whether it arrives corrupted — the earliest faulty intermediate node
+// (or link) on the prefix decides.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ihc/internal/topology"
+)
+
+// Kind classifies a node's failure behaviour.
+type Kind int
+
+const (
+	// Healthy nodes relay faithfully.
+	Healthy Kind = iota
+	// Crash nodes stop relaying entirely: every copy that must pass
+	// through them dies there.
+	Crash
+	// Corrupt nodes alter the payload of every packet they relay
+	// (detectable with signed messages, harmful without).
+	Corrupt
+	// Byzantine nodes behave arbitrarily: per relayed copy they
+	// deterministically-pseudorandomly either drop it, corrupt it, or
+	// pass it through; as sources they are two-faced, sending different
+	// payloads on different channels.
+	Byzantine
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Healthy:
+		return "healthy"
+	case Crash:
+		return "crash"
+	case Corrupt:
+		return "corrupt"
+	case Byzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan assigns failure behaviour to nodes and links. The zero value is a
+// fault-free plan.
+type Plan struct {
+	Nodes map[topology.Node]Kind
+	Links map[topology.Edge]bool // broken (bidirectional) links
+	Seed  int64                  // drives Byzantine coin flips
+}
+
+// NewPlan returns an empty plan with the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		Nodes: make(map[topology.Node]Kind),
+		Links: make(map[topology.Edge]bool),
+		Seed:  seed,
+	}
+}
+
+// Node returns the failure kind of v.
+func (p *Plan) Node(v topology.Node) Kind {
+	if p == nil || p.Nodes == nil {
+		return Healthy
+	}
+	return p.Nodes[v]
+}
+
+// LinkBroken reports whether the undirected link {u, v} is broken.
+func (p *Plan) LinkBroken(u, v topology.Node) bool {
+	if p == nil || p.Links == nil {
+		return false
+	}
+	return p.Links[topology.NewEdge(u, v)]
+}
+
+// FaultyNodes returns the sorted list of non-healthy nodes.
+func (p *Plan) FaultyNodes() []topology.Node {
+	var out []topology.Node
+	for v, k := range p.Nodes {
+		if k != Healthy {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RandomNodeFaults returns a plan with t distinct faulty nodes of the
+// given kind, drawn deterministically from seed, chosen among nodes
+// 0..n-1 excluding the nodes in exclude (e.g., a source/receiver pair
+// whose correctness is under study).
+func RandomNodeFaults(n, t int, kind Kind, seed int64, exclude ...topology.Node) *Plan {
+	if t < 0 || t > n-len(exclude) {
+		panic(fmt.Sprintf("fault: cannot place %d faults in %d nodes excluding %d", t, n, len(exclude)))
+	}
+	p := NewPlan(seed)
+	rng := rand.New(rand.NewSource(seed))
+	ex := make(map[topology.Node]bool, len(exclude))
+	for _, v := range exclude {
+		ex[v] = true
+	}
+	for len(p.Nodes) < t {
+		v := topology.Node(rng.Intn(n))
+		if ex[v] || p.Nodes[v] != Healthy {
+			continue
+		}
+		p.Nodes[v] = kind
+	}
+	return p
+}
+
+// RandomLinkFaults returns a plan with t distinct broken links of g.
+func RandomLinkFaults(g *topology.Graph, t int, seed int64) *Plan {
+	edges := g.Edges()
+	if t < 0 || t > len(edges) {
+		panic(fmt.Sprintf("fault: cannot break %d of %d links", t, len(edges)))
+	}
+	p := NewPlan(seed)
+	rng := rand.New(rand.NewSource(seed))
+	for len(p.Links) < t {
+		e := edges[rng.Intn(len(edges))]
+		p.Links[e] = true
+	}
+	return p
+}
+
+// CopyFate describes what happened to one tee copy.
+type CopyFate int
+
+const (
+	// Delivered intact.
+	Intact CopyFate = iota
+	// Delivered with corrupted payload.
+	Corrupted
+	// Never arrived.
+	Lost
+)
+
+func (f CopyFate) String() string {
+	switch f {
+	case Intact:
+		return "intact"
+	case Corrupted:
+		return "corrupted"
+	case Lost:
+		return "lost"
+	default:
+		return fmt.Sprintf("CopyFate(%d)", int(f))
+	}
+}
+
+// TraceRoute computes, for each position k >= 1 of the route, the fate of
+// the tee copy received by route[k], given the plan. A crash or drop at
+// an intermediate node (or a broken link) kills the copy for that node
+// and everything downstream; corruption taints everything downstream.
+// The source's own fault kind is not considered here — a faulty source is
+// handled by the caller (two-faced payload selection).
+func (p *Plan) TraceRoute(route []topology.Node, channel int) []CopyFate {
+	fates := make([]CopyFate, len(route))
+	state := Intact
+	for k := 1; k < len(route); k++ {
+		if state == Lost {
+			fates[k] = Lost
+			continue
+		}
+		if p.LinkBroken(route[k-1], route[k]) {
+			state = Lost
+			fates[k] = Lost
+			continue
+		}
+		// The copy reaches route[k] in the current state; the node's own
+		// fault affects only what it relays onward.
+		fates[k] = state
+		if k == len(route)-1 {
+			break
+		}
+		switch p.Node(route[k]) {
+		case Crash:
+			state = Lost
+		case Corrupt:
+			state = Corrupted
+		case Byzantine:
+			// Deterministic per (node, channel, position) coin.
+			h := uint64(p.Seed) ^ uint64(route[k])*2654435761 ^ uint64(channel)*40503 ^ uint64(k)*97
+			switch h % 3 {
+			case 0:
+				state = Lost
+			case 1:
+				state = Corrupted
+			}
+		}
+	}
+	return fates
+}

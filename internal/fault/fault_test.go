@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ihc/internal/topology"
+)
+
+func route(nodes ...topology.Node) []topology.Node { return nodes }
+
+func TestKindAndFateStrings(t *testing.T) {
+	for _, k := range []Kind{Healthy, Crash, Corrupt, Byzantine, Kind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	for _, f := range []CopyFate{Intact, Corrupted, Lost, CopyFate(9)} {
+		if f.String() == "" {
+			t.Fatal("empty fate string")
+		}
+	}
+}
+
+func TestTraceRouteFaultFree(t *testing.T) {
+	p := NewPlan(1)
+	fates := p.TraceRoute(route(0, 1, 2, 3), 0)
+	for k := 1; k < 4; k++ {
+		if fates[k] != Intact {
+			t.Fatalf("fault-free fate[%d] = %v", k, fates[k])
+		}
+	}
+}
+
+func TestTraceRouteNilPlanIsHealthy(t *testing.T) {
+	var p *Plan
+	if p.Node(3) != Healthy || p.LinkBroken(0, 1) {
+		t.Fatal("nil plan not healthy")
+	}
+}
+
+func TestTraceRouteCrashKillsDownstream(t *testing.T) {
+	p := NewPlan(1)
+	p.Nodes[2] = Crash
+	fates := p.TraceRoute(route(0, 1, 2, 3, 4), 0)
+	want := []CopyFate{Intact, Intact, Intact, Lost, Lost}
+	for k := 1; k < 5; k++ {
+		if fates[k] != want[k] {
+			t.Fatalf("fate[%d] = %v, want %v", k, fates[k], want[k])
+		}
+	}
+}
+
+func TestTraceRouteCorruptTaintsDownstream(t *testing.T) {
+	p := NewPlan(1)
+	p.Nodes[1] = Corrupt
+	fates := p.TraceRoute(route(0, 1, 2, 3), 0)
+	// Node 1 itself receives intact (the copy passes through its FIFO
+	// before its faulty relay logic), nodes 2, 3 get the tainted copy.
+	if fates[1] != Intact || fates[2] != Corrupted || fates[3] != Corrupted {
+		t.Fatalf("fates = %v", fates)
+	}
+}
+
+func TestTraceRouteFinalNodeFaultIrrelevant(t *testing.T) {
+	p := NewPlan(1)
+	p.Nodes[3] = Crash
+	fates := p.TraceRoute(route(0, 1, 2, 3), 0)
+	if fates[3] != Intact {
+		t.Fatalf("copy to the final (faulty) node should still arrive intact, got %v", fates[3])
+	}
+}
+
+func TestTraceRouteBrokenLink(t *testing.T) {
+	p := NewPlan(1)
+	p.Links[topology.NewEdge(1, 2)] = true
+	fates := p.TraceRoute(route(0, 1, 2, 3), 0)
+	if fates[1] != Intact || fates[2] != Lost || fates[3] != Lost {
+		t.Fatalf("fates = %v", fates)
+	}
+	// Broken links are bidirectional.
+	fates = p.TraceRoute(route(3, 2, 1, 0), 0)
+	if fates[1] != Intact || fates[2] != Lost {
+		t.Fatalf("reverse fates = %v", fates)
+	}
+}
+
+func TestByzantineDeterministic(t *testing.T) {
+	p := NewPlan(99)
+	p.Nodes[1] = Byzantine
+	p.Nodes[2] = Byzantine
+	a := p.TraceRoute(route(0, 1, 2, 3, 4), 5)
+	b := p.TraceRoute(route(0, 1, 2, 3, 4), 5)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("byzantine trace not deterministic at %d", k)
+		}
+	}
+	// Different channels may behave differently (two-faced relaying);
+	// just require the trace is well-formed: once Lost, stays Lost.
+	for ch := 0; ch < 8; ch++ {
+		fates := p.TraceRoute(route(0, 1, 2, 3, 4), ch)
+		lost := false
+		for k := 1; k < len(fates); k++ {
+			if lost && fates[k] != Lost {
+				t.Fatalf("ch %d: copy resurrected at %d: %v", ch, k, fates)
+			}
+			if fates[k] == Lost {
+				lost = true
+			}
+		}
+	}
+}
+
+func TestRandomNodeFaults(t *testing.T) {
+	p := RandomNodeFaults(16, 5, Crash, 7, 0, 15)
+	if len(p.FaultyNodes()) != 5 {
+		t.Fatalf("got %d faults", len(p.FaultyNodes()))
+	}
+	for _, v := range p.FaultyNodes() {
+		if v == 0 || v == 15 {
+			t.Fatalf("excluded node %d is faulty", v)
+		}
+		if p.Node(v) != Crash {
+			t.Fatalf("node %d kind %v", v, p.Node(v))
+		}
+	}
+	// Determinism.
+	q := RandomNodeFaults(16, 5, Crash, 7, 0, 15)
+	a, b := p.FaultyNodes(), q.FaultyNodes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomNodeFaultsPanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RandomNodeFaults(4, 4, Crash, 1, 0)
+}
+
+func TestRandomLinkFaults(t *testing.T) {
+	g := topology.Hypercube(3)
+	p := RandomLinkFaults(g, 4, 3)
+	if len(p.Links) != 4 {
+		t.Fatalf("got %d broken links", len(p.Links))
+	}
+	for e := range p.Links {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("broken non-edge %v", e)
+		}
+	}
+}
+
+// Property: the number of Lost/Corrupted receivers never decreases as
+// more faults are added along a route.
+func TestQuickFaultMonotone(t *testing.T) {
+	base := route(0, 1, 2, 3, 4, 5, 6, 7)
+	f := func(aRaw, bRaw uint8) bool {
+		a := topology.Node(aRaw%6 + 1)
+		b := topology.Node(bRaw%6 + 1)
+		p1 := NewPlan(1)
+		p1.Nodes[a] = Crash
+		p2 := NewPlan(1)
+		p2.Nodes[a] = Crash
+		p2.Nodes[b] = Crash
+		bad1, bad2 := 0, 0
+		for k, f := range p1.TraceRoute(base, 0) {
+			if k > 0 && f != Intact {
+				bad1++
+			}
+		}
+		for k, f := range p2.TraceRoute(base, 0) {
+			if k > 0 && f != Intact {
+				bad2++
+			}
+		}
+		return bad2 >= bad1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package hamilton constructs the edge-disjoint Hamiltonian cycle (HC)
+// decompositions that the IHC algorithm of Lee & Shin rides on: a graph G
+// is in class Λ iff it is γ-regular for even γ and contains γ/2 undirected
+// edge-disjoint HCs (condition LC2). The package provides constructive
+// decompositions for the three network families of the paper —
+//
+//   - hypercubes Q_m (Theorems 1 and 2, via Lemma 1 [Foregger 1978] and
+//     Lemma 2 [Aubert & Schneider 1982]),
+//   - torus-wrapped square meshes SQ_m (the Fig. 3 pattern), and
+//   - C-wrapped hexagonal meshes H_m (one HC per axis direction),
+//
+// plus the verification machinery used to check every construction at
+// build time: Hamiltonicity, pairwise edge-disjointness, and full edge
+// cover where the theory promises it.
+package hamilton
+
+import (
+	"fmt"
+
+	"ihc/internal/topology"
+)
+
+// Cycle is an undirected Hamiltonian cycle represented as the sequence of
+// nodes visited; the edge from the last node back to the first is implicit.
+// A Cycle of a graph with N nodes has length N.
+type Cycle []topology.Node
+
+// Len returns the number of nodes (= number of edges) in the cycle.
+func (c Cycle) Len() int { return len(c) }
+
+// Next returns the node after position i, wrapping around.
+func (c Cycle) Next(i int) topology.Node { return c[(i+1)%len(c)] }
+
+// Prev returns the node before position i, wrapping around.
+func (c Cycle) Prev(i int) topology.Node { return c[(i-1+len(c))%len(c)] }
+
+// Edges returns the cycle's undirected edges in canonical form.
+func (c Cycle) Edges() []topology.Edge {
+	edges := make([]topology.Edge, len(c))
+	for i := range c {
+		edges[i] = topology.NewEdge(c[i], c.Next(i))
+	}
+	return edges
+}
+
+// EdgeSet returns the cycle's edges as a set.
+func (c Cycle) EdgeSet() map[topology.Edge]struct{} {
+	set := make(map[topology.Edge]struct{}, len(c))
+	for _, e := range c.Edges() {
+		set[e] = struct{}{}
+	}
+	return set
+}
+
+// Positions returns a map from node to its index in the cycle.
+func (c Cycle) Positions() map[topology.Node]int {
+	pos := make(map[topology.Node]int, len(c))
+	for i, v := range c {
+		pos[v] = i
+	}
+	return pos
+}
+
+// Rotated returns the cycle re-anchored to start at the node currently at
+// position i, preserving orientation.
+func (c Cycle) Rotated(i int) Cycle {
+	out := make(Cycle, 0, len(c))
+	out = append(out, c[i:]...)
+	out = append(out, c[:i]...)
+	return out
+}
+
+// Reversed returns the cycle traversed in the opposite orientation,
+// keeping the same starting node.
+func (c Cycle) Reversed() Cycle {
+	out := make(Cycle, len(c))
+	out[0] = c[0]
+	for i := 1; i < len(c); i++ {
+		out[i] = c[len(c)-i]
+	}
+	return out
+}
+
+// DirectedArcs returns the cycle's arcs in traversal order.
+func (c Cycle) DirectedArcs() []topology.Arc {
+	arcs := make([]topology.Arc, len(c))
+	for i := range c {
+		arcs[i] = topology.Arc{From: c[i], To: c.Next(i)}
+	}
+	return arcs
+}
+
+// VerifyHamiltonian checks that c is a Hamiltonian cycle of g: it visits
+// every node of g exactly once and every consecutive pair (including the
+// wrap-around) is an edge of g.
+func VerifyHamiltonian(g *topology.Graph, c Cycle) error {
+	if len(c) != g.N() {
+		return fmt.Errorf("hamilton: cycle length %d != node count %d of %s", len(c), g.N(), g.Name())
+	}
+	if g.N() < 3 {
+		return fmt.Errorf("hamilton: %s too small for a Hamiltonian cycle", g.Name())
+	}
+	seen := make([]bool, g.N())
+	for i, v := range c {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("hamilton: node %d out of range at position %d", v, i)
+		}
+		if seen[v] {
+			return fmt.Errorf("hamilton: node %d repeated in cycle", v)
+		}
+		seen[v] = true
+		if w := c.Next(i); !g.HasEdge(v, w) {
+			return fmt.Errorf("hamilton: {%d,%d} is not an edge of %s", v, w, g.Name())
+		}
+	}
+	return nil
+}
+
+// VerifyEdgeDisjoint checks that the given cycles are pairwise
+// edge-disjoint.
+func VerifyEdgeDisjoint(cycles []Cycle) error {
+	seen := make(map[topology.Edge]int)
+	for i, c := range cycles {
+		for _, e := range c.Edges() {
+			if j, dup := seen[e]; dup {
+				return fmt.Errorf("hamilton: edge %d-%d shared by cycles %d and %d", e.U, e.V, j, i)
+			}
+			seen[e] = i
+		}
+	}
+	return nil
+}
+
+// VerifyDecomposition checks that cycles form a set of edge-disjoint
+// Hamiltonian cycles of g, and, if cover is true, that they use every edge
+// of g (a full Hamiltonian decomposition, as guaranteed for even-degree
+// members of class Λ).
+func VerifyDecomposition(g *topology.Graph, cycles []Cycle, cover bool) error {
+	for i, c := range cycles {
+		if err := VerifyHamiltonian(g, c); err != nil {
+			return fmt.Errorf("cycle %d: %w", i, err)
+		}
+	}
+	if err := VerifyEdgeDisjoint(cycles); err != nil {
+		return err
+	}
+	if cover {
+		if used := len(cycles) * g.N(); used != g.M() {
+			return fmt.Errorf("hamilton: %d cycles use %d edges, %s has %d", len(cycles), used, g.Name(), g.M())
+		}
+	}
+	return nil
+}
+
+// UnusedEdges returns the edges of g not used by any of the cycles. For
+// even-dimensional hypercubes, SQ_m and H_m this is empty; for
+// odd-dimensional hypercubes Q_{2k+1} it is the leftover perfect matching
+// (the paper's "delete one link incident on each node").
+func UnusedEdges(g *topology.Graph, cycles []Cycle) []topology.Edge {
+	used := make(map[topology.Edge]struct{})
+	for _, c := range cycles {
+		for _, e := range c.Edges() {
+			used[e] = struct{}{}
+		}
+	}
+	var out []topology.Edge
+	for _, e := range g.Edges() {
+		if _, ok := used[e]; !ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DirectedCycles orients each of the γ/2 undirected HCs both ways,
+// producing the γ directed HCs HC_1..HC_γ over which the IHC algorithm
+// pipelines packets. The forward orientation of undirected cycle i is at
+// index 2i and the reverse at 2i+1.
+func DirectedCycles(cycles []Cycle) []Cycle {
+	out := make([]Cycle, 0, 2*len(cycles))
+	for _, c := range cycles {
+		fwd := make(Cycle, len(c))
+		copy(fwd, c)
+		out = append(out, fwd, c.Reversed())
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package hamilton
+
+import (
+	"fmt"
+
+	"ihc/internal/topology"
+)
+
+// This file implements the constructive content of the paper's Lemma 2
+// (Aubert & Schneider, Discrete Math. 1982): if a graph H on q nodes is
+// the union of two edge-disjoint Hamiltonian cycles C2 and C3, and C1 is a
+// cycle on r nodes, then the cartesian product H x C1 decomposes into
+// three undirected edge-disjoint Hamiltonian cycles.
+//
+// Construction: relabel H's nodes by their position along C2 and C1's by
+// position, so the product contains the canonical r x q torus C1 x C2
+// (rows = C1, columns = C2) plus, in every row, a copy of C3 lifted into
+// that row. Lemma 1 decomposes the torus part into two HCs F1 and F2 that
+// together use all torus edges; the lifted C3 copies form r disjoint
+// row-cycles G. The copies are then stitched into a single Hamiltonian
+// cycle by r-1 "swap" moves: a swap at row boundary y picks a C3 edge
+// {x, x'} such that one of F1/F2 contains both vertical edges
+// (x,y)-(x,y+1) and (x',y)-(x',y+1), moves those two verticals from F into
+// G, and moves the two lifted C3 edges (x,y)-(x',y), (x,y+1)-(x',y+1)
+// from G into F. Each swap preserves all degrees, merges row y+1's cycle
+// into the growing G-cycle, and — for candidates whose endpoints pair
+// crosswise, which the code tests explicitly — leaves F a single
+// Hamiltonian cycle. All three cycles are verified before returning.
+
+// edgeAdj is a 2-regular graph stored as two adjacency slots per node.
+type edgeAdj struct {
+	n   int
+	adj [][2]int32
+	deg []int8
+}
+
+func newEdgeAdj(n int) *edgeAdj {
+	return &edgeAdj{n: n, adj: make([][2]int32, n), deg: make([]int8, n)}
+}
+
+func edgeAdjFromCycle(c Cycle) *edgeAdj {
+	ea := newEdgeAdj(len(c))
+	for i := range c {
+		ea.add(int(c[i]), int(c.Next(i)))
+	}
+	return ea
+}
+
+func (ea *edgeAdj) add(u, v int) {
+	if ea.deg[u] >= 2 || ea.deg[v] >= 2 {
+		panic("hamilton: edgeAdj degree overflow")
+	}
+	ea.adj[u][ea.deg[u]] = int32(v)
+	ea.adj[v][ea.deg[v]] = int32(u)
+	ea.deg[u]++
+	ea.deg[v]++
+}
+
+func (ea *edgeAdj) has(u, v int) bool {
+	for i := int8(0); i < ea.deg[u]; i++ {
+		if ea.adj[u][i] == int32(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ea *edgeAdj) remove(u, v int) {
+	rm := func(a, b int) {
+		switch {
+		case ea.deg[a] >= 1 && ea.adj[a][0] == int32(b):
+			ea.adj[a][0] = ea.adj[a][1]
+			ea.deg[a]--
+		case ea.deg[a] >= 2 && ea.adj[a][1] == int32(b):
+			ea.deg[a]--
+		default:
+			panic(fmt.Sprintf("hamilton: removing absent edge {%d,%d}", u, v))
+		}
+	}
+	rm(u, v)
+	rm(v, u)
+}
+
+// singleCycle reports whether the structure is a single cycle over all n
+// nodes, and returns it.
+func (ea *edgeAdj) singleCycle() (Cycle, bool) {
+	for u := 0; u < ea.n; u++ {
+		if ea.deg[u] != 2 {
+			return nil, false
+		}
+	}
+	return walkCycle(ea.adj, ea.n)
+}
+
+func (ea *edgeAdj) clone() *edgeAdj {
+	cp := &edgeAdj{n: ea.n, adj: make([][2]int32, ea.n), deg: make([]int8, ea.n)}
+	copy(cp.adj, ea.adj)
+	copy(cp.deg, ea.deg)
+	return cp
+}
+
+// Lemma2 decomposes (C2 ∪ C3) x C1 into three edge-disjoint Hamiltonian
+// cycles. c2 and c3 must be edge-disjoint Hamiltonian cycles over the same
+// q >= 3 nodes; c1 is a cycle over r >= 3 nodes of the other factor.
+// combine maps (node of c1's factor, node of c2's factor) to the product
+// node.
+func Lemma2(c1, c2, c3 Cycle, combine func(a, b topology.Node) topology.Node) ([]Cycle, error) {
+	return ProductWithCycle(c1, []Cycle{c2, c3}, combine)
+}
+
+// ProductWithCycle generalizes Lemma 2 to any number of factor cycles: it
+// decomposes (C_1 ∪ C_2 ∪ ... ∪ C_k) x D into k+1 edge-disjoint
+// Hamiltonian cycles, where cols = C_1..C_k are pairwise edge-disjoint
+// Hamiltonian cycles over the same q >= 3 nodes and d = D is a cycle over
+// r >= 3 nodes of the other factor. This is the constructive engine
+// behind Foregger's theorem that a product of d cycles decomposes into d
+// Hamiltonian cycles — the d-dimensional tori of the paper's "regular
+// meshes".
+//
+// Construction: Lemma 1 decomposes the torus D x C_1 into two HCs F1, F2
+// that own all the D-lifted ("vertical") edges; every further factor
+// cycle C_j lifts to r disjoint row-copies, which are stitched into one
+// Hamiltonian cycle by r-1 swaps, each trading two vertical edges from
+// F1 or F2 for two lifted C_j edges while provably keeping the donor a
+// single cycle. combine maps (node of D's factor, node of C_1's factor)
+// to the product node.
+func ProductWithCycle(c1 Cycle, cols []Cycle, combine func(a, b topology.Node) topology.Node) ([]Cycle, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("hamilton: ProductWithCycle needs at least one column cycle")
+	}
+	r, q := len(c1), len(cols[0])
+	if r < 3 || q < 3 {
+		return nil, fmt.Errorf("hamilton: ProductWithCycle needs cycles of length >= 3, got r=%d q=%d", r, q)
+	}
+	for j, c := range cols {
+		if len(c) != q {
+			return nil, fmt.Errorf("hamilton: column cycle %d has %d nodes, want %d", j, len(c), q)
+		}
+	}
+	if err := VerifyEdgeDisjoint(cols); err != nil {
+		return nil, fmt.Errorf("hamilton: ProductWithCycle columns: %w", err)
+	}
+	n := r * q
+	id := func(y, x int) int { return y*q + x }
+
+	relabel := func(c Cycle) Cycle {
+		out := make(Cycle, len(c))
+		for i, v := range c {
+			y, x := int(v)/q, int(v)%q
+			out[i] = combine(c1[y], cols[0][x])
+		}
+		return out
+	}
+
+	// Base torus D x C_1 via Lemma 1: F1, F2 own all vertical edges.
+	h1, h2, err := TorusHCs(r, q)
+	if err != nil {
+		return nil, fmt.Errorf("hamilton: ProductWithCycle torus step: %w", err)
+	}
+	if len(cols) == 1 {
+		return []Cycle{relabel(h1), relabel(h2)}, nil
+	}
+	f1 := edgeAdjFromCycle(h1)
+	f2 := edgeAdjFromCycle(h2)
+
+	pos := cols[0].Positions()
+	out := make([]*edgeAdj, 0, len(cols)+1)
+	out = append(out, f1, f2)
+
+	for j := 1; j < len(cols); j++ {
+		cj := cols[j]
+		// C_j in column-index space.
+		sigma := make([][2]int, q)
+		for i := range cj {
+			x, ok1 := pos[cj[i]]
+			x2, ok2 := pos[cj.Next(i)]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("hamilton: column cycle %d visits a node not in cycle 0", j)
+			}
+			if x == x2 || (x-x2+q)%q == 1 || (x2-x+q)%q == 1 {
+				return nil, fmt.Errorf("hamilton: cycle-%d edge {%d,%d} collides with cycle 0", j, cj[i], cj.Next(i))
+			}
+			sigma[i] = [2]int{x, x2}
+		}
+		// G_j = r disjoint lifted copies of C_j, then stitch.
+		g := newEdgeAdj(n)
+		for y := 0; y < r; y++ {
+			for _, e := range sigma {
+				g.add(id(y, e[0]), id(y, e[1]))
+			}
+		}
+		for y := 0; y < r-1; y++ {
+			if !stitchBoundary(f1, f2, g, sigma, y, q, id) {
+				return nil, fmt.Errorf("hamilton: ProductWithCycle: no valid swap for cycle %d at row boundary %d (r=%d q=%d)", j, y, r, q)
+			}
+		}
+		out = append(out, g)
+	}
+
+	cycles := make([]Cycle, 0, len(out))
+	for i, ea := range out {
+		c, ok := ea.singleCycle()
+		if !ok {
+			return nil, fmt.Errorf("hamilton: ProductWithCycle postcondition failed on cycle %d", i)
+		}
+		cycles = append(cycles, relabel(c))
+	}
+	return cycles, nil
+}
+
+// stitchBoundary tries all candidate swaps at the boundary between rows y
+// and y+1, committing and reporting true on the first one that keeps the
+// donor torus cycle a single Hamiltonian cycle.
+func stitchBoundary(f1, f2, g *edgeAdj, sigma [][2]int, y, q int, id func(y, x int) int) bool {
+	for _, e := range sigma {
+		x, x2 := e[0], e[1]
+		uy, vy := id(y, x), id(y, x2)
+		uy1, vy1 := id(y+1, x), id(y+1, x2)
+		// Both lifted C3 edges must still belong to G.
+		if !g.has(uy, vy) || !g.has(uy1, vy1) {
+			continue
+		}
+		for _, f := range [2]*edgeAdj{f1, f2} {
+			// The donor must own both vertical edges at columns x and x'.
+			if !f.has(uy, uy1) || !f.has(vy, vy1) {
+				continue
+			}
+			trial := f.clone()
+			trial.remove(uy, uy1)
+			trial.remove(vy, vy1)
+			trial.add(uy, vy)
+			trial.add(uy1, vy1)
+			if _, ok := trial.singleCycle(); !ok {
+				continue
+			}
+			// Commit.
+			*f = *trial
+			g.remove(uy, vy)
+			g.remove(uy1, vy1)
+			g.add(uy, uy1)
+			g.add(vy, vy1)
+			return true
+		}
+	}
+	return false
+}

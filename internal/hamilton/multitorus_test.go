@@ -1,0 +1,138 @@
+package hamilton
+
+import (
+	"testing"
+
+	"ihc/internal/topology"
+)
+
+func TestProductWithCycleMatchesLemma2(t *testing.T) {
+	sq, err := SquareTorus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := GrayCycle(2)
+	combine := func(a, b topology.Node) topology.Node { return a*16 + b }
+	viaLemma2, err := Lemma2(c1, sq[0], sq[1], combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGeneral, err := ProductWithCycle(c1, []Cycle{sq[0], sq[1]}, combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaLemma2) != 3 || len(viaGeneral) != 3 {
+		t.Fatalf("cycle counts %d, %d", len(viaLemma2), len(viaGeneral))
+	}
+}
+
+func TestProductWithCycleRejectsBadInput(t *testing.T) {
+	combine := func(a, b topology.Node) topology.Node { return a*16 + b }
+	sq, _ := SquareTorus(4)
+	if _, err := ProductWithCycle(GrayCycle(2), nil, combine); err == nil {
+		t.Fatal("empty cols accepted")
+	}
+	if _, err := ProductWithCycle(GrayCycle(2), []Cycle{sq[0], sq[0]}, combine); err == nil {
+		t.Fatal("duplicate cols accepted")
+	}
+	if _, err := ProductWithCycle(GrayCycle(2), []Cycle{sq[0], sq[1][:8]}, combine); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTorusNDStructure(t *testing.T) {
+	for _, dims := range [][]int{{5}, {3, 3}, {4, 4}, {3, 3, 3}, {4, 4, 4}, {3, 3, 3, 3}} {
+		g := topology.TorusND(dims...)
+		wantN := 1
+		for _, k := range dims {
+			wantN *= k
+		}
+		if g.N() != wantN {
+			t.Fatalf("%s: N = %d, want %d", g.Name(), g.N(), wantN)
+		}
+		wantDeg := 2 * len(dims)
+		if deg, ok := g.IsRegular(); !ok || deg != wantDeg {
+			t.Fatalf("%s: degree %d, want %d", g.Name(), deg, wantDeg)
+		}
+		if !g.Connected() {
+			t.Fatalf("%s disconnected", g.Name())
+		}
+	}
+}
+
+func TestTorusNDMatchesSquareTorus(t *testing.T) {
+	a := topology.TorusND(5, 5)
+	b := topology.SquareTorus(5)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch")
+	}
+	for _, e := range b.Edges() {
+		if !a.HasEdge(e.U, e.V) {
+			t.Fatalf("TorusND(5,5) missing SQ5 edge %v", e)
+		}
+	}
+}
+
+func TestTorusDims(t *testing.T) {
+	if dims, ok := topology.TorusDims("T3x4x5"); !ok || len(dims) != 3 || dims[0] != 3 || dims[2] != 5 {
+		t.Fatalf("parse = %v, %v", dims, ok)
+	}
+	for _, bad := range []string{"", "T", "Tx3", "T3x", "Q4", "T3y4"} {
+		if _, ok := topology.TorusDims(bad); ok {
+			t.Fatalf("parsed %q", bad)
+		}
+	}
+}
+
+// The headline property of the extension: d-dimensional tori decompose
+// into d edge-disjoint Hamiltonian cycles covering every edge (Foregger's
+// theorem), which puts them in class Λ with γ = 2d.
+func TestMultiTorusDecomposition(t *testing.T) {
+	for _, dims := range [][]int{
+		{3, 3}, {4, 4}, {4, 8}, {8, 4},
+		{3, 3, 3}, {4, 4, 4}, {3, 9},
+		{3, 3, 3, 3}, {4, 4, 4, 4},
+	} {
+		cycles, err := MultiTorus(dims...)
+		if err != nil {
+			t.Fatalf("MultiTorus(%v): %v", dims, err)
+		}
+		if len(cycles) != len(dims) {
+			t.Fatalf("MultiTorus(%v): %d cycles", dims, len(cycles))
+		}
+		g := topology.TorusND(dims...)
+		if err := VerifyDecomposition(g, cycles, true); err != nil {
+			t.Fatalf("MultiTorus(%v): %v", dims, err)
+		}
+	}
+}
+
+func TestMultiTorusOneDimension(t *testing.T) {
+	cycles, err := MultiTorus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topology.TorusND(7)
+	if err := VerifyDecomposition(g, cycles, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTorusRejectsBadDims(t *testing.T) {
+	for _, dims := range [][]int{{}, {2}, {3, 2}, {2, 3, 3}} {
+		if _, err := MultiTorus(dims...); err == nil {
+			t.Fatalf("MultiTorus(%v) accepted", dims)
+		}
+	}
+}
+
+func TestDecomposeDispatchTorusND(t *testing.T) {
+	g := topology.TorusND(3, 3, 3)
+	cycles, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 3 {
+		t.Fatalf("got %d cycles", len(cycles))
+	}
+}

@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"fmt"
+
+	"ihc/internal/baseline/atarun"
+	"ihc/internal/baseline/frs"
+	"ihc/internal/baseline/ks"
+	"ihc/internal/baseline/rs"
+	"ihc/internal/baseline/vsq"
+	"ihc/internal/core"
+	"ihc/internal/hamilton"
+	"ihc/internal/model"
+	"ihc/internal/simnet"
+	"ihc/internal/tablefmt"
+	"ihc/internal/topology"
+)
+
+func init() {
+	register(Experiment{ID: "table1", Paper: "Table I", Title: "RS communication pattern on Q4 (source 0)", Run: runTable1})
+	register(Experiment{ID: "table2", Paper: "Table II", Title: "Execution times with ρ=0 (dedicated network)", Run: runTable2})
+	register(Experiment{ID: "table3", Paper: "Table III", Title: "Execution times with ρ=0 and η=μ=2", Run: runTable3})
+	register(Experiment{ID: "table4", Paper: "Table IV", Title: "Worst-case execution times (saturated network)", Run: runTable4})
+}
+
+// runTable1 regenerates Table I: the step-by-step send-receive pattern of
+// the RS reliable broadcast from node 0 in Q4, grouped into the
+// cut-through columns of the VRS conversion.
+func runTable1(cfg Config) ([]*tablefmt.Table, error) {
+	b := rs.New(4, 0, true)
+	steps := b.StepOps()
+	t := tablefmt.New("Table I — RS broadcast from node 0 in Q4 (send ops per step; *=optional return)",
+		"Step", "Operations")
+	for i, ops := range steps {
+		line := ""
+		for _, op := range ops {
+			mark := ""
+			if op.Return {
+				mark = "*"
+			}
+			if line != "" {
+				line += " "
+			}
+			line += fmt.Sprintf("%d→%d%s", op.From, op.To, mark)
+		}
+		t.Addf(i+1, line)
+	}
+	t.Note("γ+1 = 5 steps; %d sends incl. %d optional returns; %d cut-through columns",
+		b.Sends(), 4, len(b.Columns))
+
+	// Column view: the maximal cut-through chains (paper's columns).
+	ct := tablefmt.New("Table I columns — cut-through chains (head hop is injection/redirect = store-and-forward)",
+		"Col", "Tree", "HeadStep", "Chain")
+	for i, col := range b.Columns {
+		line := ""
+		for j, v := range col.Route {
+			if j > 0 {
+				line += "→"
+			}
+			line += fmt.Sprintf("%d", v)
+		}
+		ct.Addf(i+1, col.Tree, col.HeadStep, line)
+	}
+	return []*tablefmt.Table{t, ct}, nil
+}
+
+// ihcMeasured runs IHC on g and returns the measured finish.
+func ihcMeasured(g *topology.Graph, p simnet.Params, eta int) (simnet.Time, *core.Result, error) {
+	cycles, err := hamilton.Decompose(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	x, err := core.New(g, cycles)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Finish, res, nil
+}
+
+// table2Sizes returns the network sizes exercised by Tables II-IV.
+func table2Sizes(quick bool) (qDim, sqM, hM int) {
+	if quick {
+		return 4, 4, 3
+	}
+	return 8, 12, 4
+}
+
+// runTable2 reproduces Table II: dedicated-network execution times, model
+// (the paper's closed forms) against measured simulation, for every
+// algorithm on its topology.
+func runTable2(cfg Config) ([]*tablefmt.Table, error) {
+	p := cfg.params()
+	mp := cfg.modelParams()
+	eta := p.Mu
+	qDim, sqM, hM := table2Sizes(cfg.Quick)
+	t := tablefmt.New(
+		fmt.Sprintf("Table II — execution times, ρ=0 (τ_S=%d α=%d μ=%d, η=%d ticks)", p.TauS, p.Alpha, p.Mu, eta),
+		"Algorithm", "Network", "N", "Model", "Measured", "Measured-Model")
+
+	// IHC on all three families.
+	for _, g := range []*topology.Graph{
+		topology.Hypercube(qDim), topology.SquareTorus(sqM), topology.HexMesh(hM),
+	} {
+		measured, res, err := ihcMeasured(g, p, eta)
+		if err != nil {
+			return nil, err
+		}
+		if res.Contentions != 0 && g.N()%eta == 0 {
+			return nil, fmt.Errorf("table2: IHC on %s had %d contentions", g.Name(), res.Contentions)
+		}
+		t.Addf("IHC", g.Name(), g.N(), model.IHCBest(mp, g.N(), eta), measured, match(measured, model.IHCBest(mp, g.N(), eta)))
+	}
+
+	// VRS-ATA.
+	vres, err := rs.ATA(qDim, p, atarun.Options{})
+	if err != nil {
+		return nil, err
+	}
+	vm := model.VRSATABest(mp, 1<<qDim)
+	t.Addf("VRS-ATA", fmt.Sprintf("Q%d", qDim), 1<<qDim, vm, vres.Finish, match(vres.Finish, vm))
+
+	// KS-ATA.
+	kres, err := ks.ATA(hM, p, atarun.Options{})
+	if err != nil {
+		return nil, err
+	}
+	km := model.KSATABest(mp, hM)
+	t.Addf("KS-ATA", fmt.Sprintf("H%d", hM), topology.HexMeshSize(hM), km, kres.Finish, match(kres.Finish, km))
+
+	// VSQ-ATA.
+	sres, err := vsq.ATA(sqM, p, atarun.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sm := model.VSQATABest(mp, sqM)
+	t.Addf("VSQ-ATA", fmt.Sprintf("SQ%d", sqM), sqM*sqM, sm, sres.Finish, match(sres.Finish, sm))
+
+	// FRS.
+	fres, err := frs.Run(qDim, p, false)
+	if err != nil {
+		return nil, err
+	}
+	fm := model.FRSBest(mp, 1<<qDim)
+	t.Addf("FRS", fmt.Sprintf("Q%d", qDim), 1<<qDim, fm, fres.Finish, match(fres.Finish, fm))
+
+	t.Note("IHC and FRS match their closed forms exactly; the serialized baselines measure at or")
+	t.Note("below the paper's structural bounds (our causal simulation overlaps redirects that the")
+	t.Note("paper's longest-path accounting serializes; KS/VSQ patterns are reconstructions).")
+	return []*tablefmt.Table{t}, nil
+}
+
+// runTable3 reproduces Table III: the η=μ=2 instantiation — the paper's
+// headline comparison — expressed as the factor by which IHC wins.
+func runTable3(cfg Config) ([]*tablefmt.Table, error) {
+	p := cfg.params()
+	p.Mu = 2
+	mp := cfg.modelParams()
+	mp.Mu = 2
+	qDim, sqM, hM := table2Sizes(cfg.Quick)
+	n := 1 << qDim
+
+	ihcQ, _, err := ihcMeasured(topology.Hypercube(qDim), p, 2)
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New(
+		fmt.Sprintf("Table III — ρ=0, η=μ=2 (hypercube Q%d, N=%d): IHC vs the alternatives", qDim, n),
+		"Algorithm", "Model", "Measured", "Slower than IHC (measured)")
+	t.Addf("IHC (2τ_S+2Nα form)", model.IHCBest(mp, n, 2), ihcQ, "1.0x")
+
+	vres, err := rs.ATA(qDim, p, atarun.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf("VRS-ATA", model.VRSATABest(mp, n), vres.Finish, ratio(vres.Finish, ihcQ))
+
+	fres, err := frs.Run(qDim, p, false)
+	if err != nil {
+		return nil, err
+	}
+	t.Addf("FRS", model.FRSBest(mp, n), fres.Finish, ratio(fres.Finish, ihcQ))
+
+	ihcSQ, _, err := ihcMeasured(topology.SquareTorus(sqM), p, 2)
+	if err != nil {
+		return nil, err
+	}
+	sres, err := vsq.ATA(sqM, p, atarun.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf(fmt.Sprintf("VSQ-ATA (SQ%d vs IHC on SQ%d)", sqM, sqM), model.VSQATABest(mp, sqM), sres.Finish, ratio(sres.Finish, ihcSQ))
+
+	ihcH, _, err := ihcMeasured(topology.HexMesh(hM), p, 2)
+	if err != nil {
+		return nil, err
+	}
+	kres, err := ks.ATA(hM, p, atarun.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf(fmt.Sprintf("KS-ATA (H%d vs IHC on H%d)", hM, hM), model.KSATABest(mp, hM), kres.Finish, ratio(kres.Finish, ihcH))
+	t.Note("the paper's qualitative claim — IHC clearly better than all alternatives in a dedicated")
+	t.Note("network — holds with factors growing linearly in N (serialized baselines cost N broadcasts).")
+	return []*tablefmt.Table{t}, nil
+}
+
+func ratio(a, b simnet.Time) string { return fmt.Sprintf("%.1fx", float64(a)/float64(b)) }
+
+// runTable4 reproduces Table IV: worst-case (saturated) execution times.
+// The simulator's Saturated mode forces every hop through intermediate
+// storage with queueing delay D, the paper's limiting regime.
+func runTable4(cfg Config) ([]*tablefmt.Table, error) {
+	p := cfg.params()
+	mp := cfg.modelParams()
+	eta := p.Mu
+	qDim, sqM, hM := table2Sizes(cfg.Quick)
+	if !cfg.Quick {
+		// Saturated serialized baselines are slow to simulate at Q8;
+		// Table IV's shape shows at moderate sizes.
+		qDim, sqM, hM = 6, 8, 4
+	}
+	n := 1 << qDim
+	t := tablefmt.New(
+		fmt.Sprintf("Table IV — worst-case times (every hop buffered + queued; τ_S=%d α=%d μ=%d D=%d)", p.TauS, p.Alpha, p.Mu, p.D),
+		"Algorithm", "Network", "Model (paper)", "Measured", "Measured-Model")
+
+	cycles, err := hamilton.Decompose(topology.Hypercube(qDim))
+	if err != nil {
+		return nil, err
+	}
+	x, err := core.New(topology.Hypercube(qDim), cycles)
+	if err != nil {
+		return nil, err
+	}
+	res, err := x.Run(core.Config{Eta: eta, Params: p, Saturated: true, SkipCopies: true})
+	if err != nil {
+		return nil, err
+	}
+	im := model.IHCWorst(mp, n, eta)
+	t.Addf("IHC", fmt.Sprintf("Q%d", qDim), im, res.Finish, match(res.Finish, im))
+
+	vres, err := rs.ATA(qDim, p, atarun.Options{Saturated: true})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf("VRS-ATA", fmt.Sprintf("Q%d", qDim), model.VRSATAWorst(mp, n), vres.Finish, match(vres.Finish, model.VRSATAWorst(mp, n)))
+
+	kres, err := ks.ATA(hM, p, atarun.Options{Saturated: true})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf("KS-ATA", fmt.Sprintf("H%d", hM), model.KSATAWorst(mp, hM), kres.Finish, match(kres.Finish, model.KSATAWorst(mp, hM)))
+
+	sres, err := vsq.ATA(sqM, p, atarun.Options{Saturated: true})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf("VSQ-ATA", fmt.Sprintf("SQ%d", sqM), model.VSQATAWorst(mp, sqM), sres.Finish, match(sres.Finish, model.VSQATAWorst(mp, sqM)))
+
+	// FRS's worst case only adds D per step (its packets are already
+	// store-and-forward); model it and measure with D folded into τ_S.
+	pf := p
+	pf.TauS += p.D
+	fres, err := frs.Run(qDim, pf, false)
+	if err != nil {
+		return nil, err
+	}
+	fm := model.FRSWorst(mp, n)
+	t.Addf("FRS", fmt.Sprintf("Q%d", qDim), fm, fres.Finish, match(fres.Finish, fm))
+
+	t.Note("who wins flips under saturation: FRS (merging store-and-forward) is fastest, as the paper")
+	t.Note("concludes; among cut-through algorithms IHC keeps the best worst case (η(N-1) vs N·path).")
+	return []*tablefmt.Table{t}, nil
+}

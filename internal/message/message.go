@@ -1,0 +1,247 @@
+// Package message implements the "practical issues" the paper's
+// conclusion defers: the packet format, the relay stop rules, and message
+// reconstruction and control for the IHC algorithm.
+//
+//   - Packet format: a fixed binary header (source, directed-cycle id,
+//     stage, fragment index/count, the routing tag carrying the last
+//     node to relay, payload length), an optional 32-byte HMAC trailer
+//     for signed operation, and a payload of at most μ·B_FIFO minus
+//     overhead bytes.
+//   - Stop rules: Section IV gives two ways for a node to know when to
+//     stop relaying a cycle's packets — counting the packets passed, or
+//     checking the routing-tag "address of the last node" planted by the
+//     source. Both are implemented and proven equivalent on cycle routes.
+//   - Reconstruction: applications broadcast messages longer than one
+//     packet by fragmenting them across successive IHC invocations; the
+//     Reassembler collects the γ redundant copies of every fragment,
+//     deduplicates, and reconstructs each source's message.
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ihc/internal/topology"
+)
+
+// HeaderSize is the encoded size of a packet header in bytes.
+const HeaderSize = 12
+
+// MACSize is the size of the optional authentication trailer.
+const MACSize = 32
+
+// Header is the fixed routing/control header of an IHC broadcast packet.
+type Header struct {
+	Source  uint16 // originating node
+	Channel uint8  // directed Hamiltonian cycle index (1..γ in the paper)
+	Stage   uint8  // interleaving stage the packet was injected in
+	Frag    uint16 // fragment index within the source's message
+	Total   uint16 // total fragments of the source's message (>= 1)
+	TagLast uint16 // routing tag: the last node that relays this packet
+	PayLen  uint16 // payload length in bytes
+}
+
+// Packet is a header plus payload and optional MAC.
+type Packet struct {
+	Header  Header
+	Payload []byte
+	MAC     []byte // nil or MACSize bytes
+}
+
+// Encode serializes the packet. The wire layout is little-endian:
+// source(2) channel(1) stage(1) frag(2) total(2) tag(2) paylen(2)
+// payload(paylen) [mac(32)].
+func (p *Packet) Encode() ([]byte, error) {
+	if len(p.Payload) != int(p.Header.PayLen) {
+		return nil, fmt.Errorf("message: payload length %d != header PayLen %d", len(p.Payload), p.Header.PayLen)
+	}
+	if p.MAC != nil && len(p.MAC) != MACSize {
+		return nil, fmt.Errorf("message: MAC length %d != %d", len(p.MAC), MACSize)
+	}
+	if p.Header.Total == 0 {
+		return nil, fmt.Errorf("message: Total must be >= 1")
+	}
+	if p.Header.Frag >= p.Header.Total {
+		return nil, fmt.Errorf("message: Frag %d out of range [0,%d)", p.Header.Frag, p.Header.Total)
+	}
+	out := make([]byte, 0, HeaderSize+len(p.Payload)+len(p.MAC))
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint16(h[0:], p.Header.Source)
+	h[2] = p.Header.Channel
+	h[3] = p.Header.Stage
+	binary.LittleEndian.PutUint16(h[4:], p.Header.Frag)
+	binary.LittleEndian.PutUint16(h[6:], p.Header.Total)
+	binary.LittleEndian.PutUint16(h[8:], p.Header.TagLast)
+	binary.LittleEndian.PutUint16(h[10:], p.Header.PayLen)
+	out = append(out, h[:]...)
+	out = append(out, p.Payload...)
+	out = append(out, p.MAC...)
+	return out, nil
+}
+
+// Decode parses a packet. withMAC selects whether a MAC trailer is
+// expected (the whole network runs signed or unsigned, so the format is
+// not self-describing — exactly one byte length is valid either way).
+func Decode(buf []byte, withMAC bool) (*Packet, error) {
+	if len(buf) < HeaderSize {
+		return nil, fmt.Errorf("message: %d bytes, need at least %d", len(buf), HeaderSize)
+	}
+	var p Packet
+	p.Header.Source = binary.LittleEndian.Uint16(buf[0:])
+	p.Header.Channel = buf[2]
+	p.Header.Stage = buf[3]
+	p.Header.Frag = binary.LittleEndian.Uint16(buf[4:])
+	p.Header.Total = binary.LittleEndian.Uint16(buf[6:])
+	p.Header.TagLast = binary.LittleEndian.Uint16(buf[8:])
+	p.Header.PayLen = binary.LittleEndian.Uint16(buf[10:])
+	want := HeaderSize + int(p.Header.PayLen)
+	if withMAC {
+		want += MACSize
+	}
+	if len(buf) != want {
+		return nil, fmt.Errorf("message: %d bytes, header implies %d", len(buf), want)
+	}
+	if p.Header.Total == 0 || p.Header.Frag >= p.Header.Total {
+		return nil, fmt.Errorf("message: bad fragment bounds %d/%d", p.Header.Frag, p.Header.Total)
+	}
+	p.Payload = append([]byte(nil), buf[HeaderSize:HeaderSize+int(p.Header.PayLen)]...)
+	if withMAC {
+		p.MAC = append([]byte(nil), buf[HeaderSize+int(p.Header.PayLen):]...)
+	}
+	return &p, nil
+}
+
+// PayloadCapacity returns how many payload bytes fit in a packet of
+// μ·bFIFO bytes total, with or without the MAC trailer. It is an error
+// (returned as 0) if the packet cannot even hold the header.
+func PayloadCapacity(mu, bFIFO int, withMAC bool) int {
+	c := mu*bFIFO - HeaderSize
+	if withMAC {
+		c -= MACSize
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// --- Stop rules (Section IV) ---
+
+// StopByCount reports whether a node should stop relaying after having
+// relayed `relayed` packets of one cycle's stage: each stage of the IHC
+// algorithm moves each packet N-1 hops, so a node relays a given packet
+// until it has passed through N-2 intermediate relays... concretely, a
+// node relays each packet of its cycle exactly once, and a packet dies
+// at its N-1-th receiver: the receiver at distance N-1 from the source
+// (= the source's cycle predecessor) does not relay. hops is the
+// distance (along the directed cycle) from the packet's source to the
+// current node.
+func StopByCount(hops, n int) bool { return hops >= n-1 }
+
+// StopByTag reports whether the current node should stop relaying the
+// packet according to its routing tag: the source planted the address of
+// the last node to receive it (its cycle predecessor).
+func StopByTag(h Header, self topology.Node) bool {
+	return topology.Node(h.TagLast) == self
+}
+
+// TagFor returns the routing tag a source at position pos of directed
+// cycle c must plant: its predecessor on the cycle.
+func TagFor(c []topology.Node, pos int) topology.Node {
+	return c[(pos-1+len(c))%len(c)]
+}
+
+// --- Fragmentation and reassembly ---
+
+// Split fragments an application message into payloads of at most
+// capacity bytes. A nil or empty message still produces one (empty)
+// fragment, so every node participates in every round. It is an error if
+// the message needs more than 65535 fragments.
+func Split(msg []byte, capacity int) ([][]byte, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("message: payload capacity %d", capacity)
+	}
+	if len(msg) == 0 {
+		return [][]byte{{}}, nil
+	}
+	total := (len(msg) + capacity - 1) / capacity
+	if total > 0xffff {
+		return nil, fmt.Errorf("message: %d fragments exceed the 16-bit fragment space", total)
+	}
+	out := make([][]byte, 0, total)
+	for off := 0; off < len(msg); off += capacity {
+		end := off + capacity
+		if end > len(msg) {
+			end = len(msg)
+		}
+		out = append(out, msg[off:end])
+	}
+	return out, nil
+}
+
+// Reassembler reconstructs per-source messages from fragments, tolerating
+// the γ duplicate copies the IHC algorithm delivers and out-of-order
+// arrival. It is used per receiving node.
+type Reassembler struct {
+	sources map[uint16]*partial
+}
+
+type partial struct {
+	total uint16
+	frags [][]byte
+	have  int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{sources: make(map[uint16]*partial)}
+}
+
+// Accept ingests one packet copy. Duplicates are ignored; conflicting
+// metadata (same source, different Total) or conflicting fragment content
+// is an error — with signed packets that can only happen on a corrupted
+// copy the caller failed to filter.
+func (r *Reassembler) Accept(p *Packet) error {
+	st, ok := r.sources[p.Header.Source]
+	if !ok {
+		st = &partial{total: p.Header.Total, frags: make([][]byte, p.Header.Total)}
+		r.sources[p.Header.Source] = st
+	}
+	if st.total != p.Header.Total {
+		return fmt.Errorf("message: source %d fragment count changed %d -> %d", p.Header.Source, st.total, p.Header.Total)
+	}
+	if prev := st.frags[p.Header.Frag]; prev != nil {
+		if string(prev) != string(p.Payload) {
+			return fmt.Errorf("message: source %d fragment %d content conflict", p.Header.Source, p.Header.Frag)
+		}
+		return nil // duplicate copy, expected with γ-redundant delivery
+	}
+	// Store non-nil even for empty payloads: nil marks "not received".
+	st.frags[p.Header.Frag] = append(make([]byte, 0, len(p.Payload)), p.Payload...)
+	st.have++
+	return nil
+}
+
+// Complete reports whether source's message is fully received.
+func (r *Reassembler) Complete(source topology.Node) bool {
+	st, ok := r.sources[uint16(source)]
+	return ok && st.have == int(st.total)
+}
+
+// Message returns source's reconstructed message; ok is false until all
+// fragments arrived.
+func (r *Reassembler) Message(source topology.Node) ([]byte, bool) {
+	st, ok := r.sources[uint16(source)]
+	if !ok || st.have != int(st.total) {
+		return nil, false
+	}
+	var out []byte
+	for _, f := range st.frags {
+		out = append(out, f...)
+	}
+	return out, true
+}
+
+// Sources returns how many sources have contributed at least one
+// fragment.
+func (r *Reassembler) Sources() int { return len(r.sources) }

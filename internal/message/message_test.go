@@ -1,0 +1,248 @@
+package message
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ihc/internal/hamilton"
+	"ihc/internal/topology"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{
+			Source: 300, Channel: 5, Stage: 1,
+			Frag: 2, Total: 7, TagLast: 299, PayLen: 5,
+		},
+		Payload: []byte("hello"),
+	}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != HeaderSize+5 {
+		t.Fatalf("wire length %d", len(wire))
+	}
+	got, err := Decode(wire, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != p.Header || !bytes.Equal(got.Payload, p.Payload) || got.MAC != nil {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEncodeDecodeWithMAC(t *testing.T) {
+	mac := bytes.Repeat([]byte{0xab}, MACSize)
+	p := &Packet{
+		Header:  Header{Source: 1, Total: 1, PayLen: 3},
+		Payload: []byte("abc"),
+		MAC:     mac,
+	}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.MAC, mac) {
+		t.Fatal("MAC lost")
+	}
+	// Decoding with the wrong MAC expectation must fail (length check).
+	if _, err := Decode(wire, false); err == nil {
+		t.Fatal("signed wire decoded as unsigned")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	bad := []*Packet{
+		{Header: Header{Total: 1, PayLen: 4}, Payload: []byte("abc")}, // length mismatch
+		{Header: Header{Total: 0, PayLen: 0}},                         // zero total
+		{Header: Header{Frag: 3, Total: 3, PayLen: 0}},                // frag out of range
+		{Header: Header{Total: 1, PayLen: 0}, MAC: []byte{1, 2}},      // short MAC
+	}
+	for i, p := range bad {
+		if _, err := p.Encode(); err == nil {
+			t.Fatalf("bad packet %d encoded", i)
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}, false); err == nil {
+		t.Fatal("short buffer decoded")
+	}
+	good := &Packet{Header: Header{Total: 2, Frag: 1, PayLen: 1}, Payload: []byte("x")}
+	wire, _ := good.Encode()
+	if _, err := Decode(append(wire, 0), false); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// Corrupt fragment bounds on the wire.
+	wire2 := append([]byte(nil), wire...)
+	wire2[6], wire2[7] = 0, 0 // Total = 0
+	if _, err := Decode(wire2, false); err == nil {
+		t.Fatal("zero total accepted")
+	}
+}
+
+func TestPayloadCapacity(t *testing.T) {
+	if c := PayloadCapacity(2, 32, false); c != 64-HeaderSize {
+		t.Fatalf("capacity = %d", c)
+	}
+	if c := PayloadCapacity(2, 32, true); c != 64-HeaderSize-MACSize {
+		t.Fatalf("signed capacity = %d", c)
+	}
+	if c := PayloadCapacity(1, 8, true); c != 0 {
+		t.Fatalf("impossible capacity = %d", c)
+	}
+}
+
+// The two stop rules of Section IV agree on every position of every
+// directed cycle.
+func TestStopRulesEquivalent(t *testing.T) {
+	cycles, err := hamilton.Decompose(topology.SquareTorus(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := hamilton.DirectedCycles(cycles)
+	for j, c := range dir {
+		n := len(c)
+		for pos := 0; pos < n; pos++ {
+			tag := TagFor(c, pos)
+			h := Header{Source: uint16(c[pos]), TagLast: uint16(tag)}
+			for hops := 1; hops < n; hops++ {
+				self := c[(pos+hops)%n]
+				byCount := StopByCount(hops, n)
+				byTag := StopByTag(h, self)
+				if byCount != byTag {
+					t.Fatalf("cycle %d pos %d hops %d: count=%v tag=%v", j, pos, hops, byCount, byTag)
+				}
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	msg := []byte("abcdefghij")
+	frags, err := Split(msg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 || string(frags[0]) != "abcd" || string(frags[2]) != "ij" {
+		t.Fatalf("frags = %q", frags)
+	}
+	empty, err := Split(nil, 4)
+	if err != nil || len(empty) != 1 || len(empty[0]) != 0 {
+		t.Fatalf("empty split = %q, %v", empty, err)
+	}
+	if _, err := Split(msg, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := Split(make([]byte, 70000), 1); err == nil {
+		t.Fatal("fragment overflow accepted")
+	}
+}
+
+func TestReassemblerDuplicatesAndConflicts(t *testing.T) {
+	r := NewReassembler()
+	mk := func(frag, total int, pay string) *Packet {
+		return &Packet{
+			Header:  Header{Source: 9, Frag: uint16(frag), Total: uint16(total), PayLen: uint16(len(pay))},
+			Payload: []byte(pay),
+		}
+	}
+	if err := r.Accept(mk(1, 2, "yz")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Complete(9) {
+		t.Fatal("complete with one of two fragments")
+	}
+	// γ duplicate copies are fine.
+	for i := 0; i < 4; i++ {
+		if err := r.Accept(mk(1, 2, "yz")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Accept(mk(0, 2, "wx")); err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := r.Message(9)
+	if !ok || string(msg) != "wxyz" {
+		t.Fatalf("message = %q, %v", msg, ok)
+	}
+	// Conflicting content must be detected.
+	if err := r.Accept(mk(0, 2, "QQ")); err == nil {
+		t.Fatal("conflicting fragment accepted")
+	}
+	// Conflicting totals must be detected.
+	if err := r.Accept(mk(0, 3, "wx")); err == nil {
+		t.Fatal("conflicting total accepted")
+	}
+	if r.Sources() != 1 {
+		t.Fatalf("sources = %d", r.Sources())
+	}
+	if _, ok := r.Message(5); ok {
+		t.Fatal("unknown source reconstructed")
+	}
+}
+
+// Property: encode/decode round-trips for arbitrary header/payload
+// combinations.
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(src uint16, ch, st uint8, frag uint16, payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		total := uint16(int(frag) + 1)
+		p := &Packet{
+			Header: Header{
+				Source: src, Channel: ch, Stage: st,
+				Frag: frag, Total: total, PayLen: uint16(len(payload)),
+			},
+			Payload: payload,
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire, false)
+		if err != nil {
+			return false
+		}
+		return got.Header == p.Header && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split followed by concatenation is the identity.
+func TestQuickSplitJoin(t *testing.T) {
+	f := func(msg []byte, capRaw uint8) bool {
+		capacity := int(capRaw)%64 + 1
+		frags, err := Split(msg, capacity)
+		if err != nil {
+			return false
+		}
+		var joined []byte
+		for _, fr := range frags {
+			if len(fr) > capacity {
+				return false
+			}
+			joined = append(joined, fr...)
+		}
+		if len(msg) == 0 {
+			return len(frags) == 1 && len(joined) == 0
+		}
+		return bytes.Equal(joined, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug helpers in this file's future edits

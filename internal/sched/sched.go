@@ -1,0 +1,168 @@
+// Package sched performs static (offline) analysis of packet schedules:
+// given the packets an algorithm would inject and the network timing
+// parameters, it computes every directed link's occupancy intervals under
+// the ideal dedicated-network assumption (every hop after injection cuts
+// through) and reports any two packets that would contend for the same
+// link at the same time.
+//
+// This is an independent check of the IHC algorithm's central claim — with
+// interleaving distance η >= μ, no two packets ever contend for the same
+// link — complementary to the event-driven simulator in package simnet,
+// which detects contention dynamically. The static analysis is exact for
+// contention-free schedules: if it finds no overlap, the ideal timing is
+// feasible and the simulator will realize it.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+// Interval is one packet's occupancy of one directed link.
+type Interval struct {
+	Link       topology.Arc
+	Start, End simnet.Time // [Start, End): header departure to tail passage
+	ID         simnet.PacketID
+}
+
+// Conflict reports two packets overlapping on a link.
+type Conflict struct {
+	Link   topology.Arc
+	A, B   simnet.PacketID
+	AStart simnet.Time
+	AEnd   simnet.Time
+	BStart simnet.Time
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("link %v: %v [%d,%d) overlaps %v starting %d",
+		c.Link, c.A, c.AStart, c.AEnd, c.B, c.BStart)
+}
+
+// IdealIntervals computes, for each packet and hop, the interval during
+// which the packet occupies the hop's directed link assuming ideal
+// cut-through operation: the header leaves the source at Inject+τ_S,
+// advances by α per intermediate node, and each link is held for the
+// packet's transmission time (μα, or Flits·α if overridden).
+func IdealIntervals(p simnet.Params, specs []simnet.PacketSpec) []Interval {
+	var out []Interval
+	for _, s := range specs {
+		pt := p.PacketTime()
+		if s.Flits > 0 {
+			pt = simnet.Time(s.Flits) * p.Alpha
+		}
+		depart := s.Inject + p.TauS
+		for h := 0; h+1 < len(s.Route); h++ {
+			out = append(out, Interval{
+				Link:  topology.Arc{From: s.Route[h], To: s.Route[h+1]},
+				Start: depart,
+				End:   depart + pt,
+				ID:    s.ID,
+			})
+			depart += p.Alpha
+		}
+	}
+	return out
+}
+
+// FindConflicts returns every pair of intervals that overlap on the same
+// directed link, sorted by link and time. A contention-free schedule
+// returns an empty slice.
+func FindConflicts(intervals []Interval) []Conflict {
+	byLink := make(map[topology.Arc][]Interval)
+	for _, iv := range intervals {
+		byLink[iv.Link] = append(byLink[iv.Link], iv)
+	}
+	links := make([]topology.Arc, 0, len(byLink))
+	for l := range byLink {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	var out []Conflict
+	for _, l := range links {
+		ivs := byLink[l]
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].Start != ivs[j].Start {
+				return ivs[i].Start < ivs[j].Start
+			}
+			return ivs[i].End < ivs[j].End
+		})
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End {
+				out = append(out, Conflict{
+					Link:   l,
+					A:      ivs[i-1].ID,
+					B:      ivs[i].ID,
+					AStart: ivs[i-1].Start,
+					AEnd:   ivs[i-1].End,
+					BStart: ivs[i].Start,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Verify is a convenience wrapper: it returns an error describing the
+// first few conflicts if the schedule is not contention-free.
+func Verify(p simnet.Params, specs []simnet.PacketSpec) error {
+	conflicts := FindConflicts(IdealIntervals(p, specs))
+	if len(conflicts) == 0 {
+		return nil
+	}
+	limit := len(conflicts)
+	if limit > 3 {
+		limit = 3
+	}
+	msg := fmt.Sprintf("sched: %d link conflicts; first %d:", len(conflicts), limit)
+	for _, c := range conflicts[:limit] {
+		msg += "\n  " + c.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// LinkLoad returns, for each directed link used by the schedule, the total
+// occupied time — useful for utilization studies (the paper's trade-off:
+// larger η lowers instantaneous link utilization by the broadcast).
+func LinkLoad(intervals []Interval) map[topology.Arc]simnet.Time {
+	load := make(map[topology.Arc]simnet.Time)
+	for _, iv := range intervals {
+		load[iv.Link] += iv.End - iv.Start
+	}
+	return load
+}
+
+// MaxConcurrency returns the peak number of links simultaneously busy at
+// any instant, a direct measure of instantaneous network usage.
+func MaxConcurrency(intervals []Interval) int {
+	type ev struct {
+		t     simnet.Time
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(intervals))
+	for _, iv := range intervals {
+		evs = append(evs, ev{iv.Start, 1}, ev{iv.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta // process ends before starts
+	})
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"testing"
+
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+var p = simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+
+func ringRoute(n, src, hops int) []topology.Node {
+	r := make([]topology.Node, hops+1)
+	for i := range r {
+		r[i] = topology.Node((src + i) % n)
+	}
+	return r
+}
+
+func TestIdealIntervalsTiming(t *testing.T) {
+	specs := []simnet.PacketSpec{{
+		ID:     simnet.PacketID{Source: 0},
+		Route:  ringRoute(8, 0, 3),
+		Inject: 10,
+	}}
+	ivs := IdealIntervals(p, specs)
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	// Hop h occupies [inject+τ_S+hα, ...+μα).
+	for h, iv := range ivs {
+		wantStart := simnet.Time(10) + p.TauS + simnet.Time(h)*p.Alpha
+		if iv.Start != wantStart || iv.End != wantStart+p.PacketTime() {
+			t.Fatalf("hop %d: [%d,%d), want start %d", h, iv.Start, iv.End, wantStart)
+		}
+		if iv.Link != (topology.Arc{From: topology.Node(h), To: topology.Node(h + 1)}) {
+			t.Fatalf("hop %d link = %v", h, iv.Link)
+		}
+	}
+}
+
+func TestIdealIntervalsFlitsOverride(t *testing.T) {
+	specs := []simnet.PacketSpec{{
+		ID:    simnet.PacketID{Source: 0},
+		Route: ringRoute(8, 0, 1),
+		Flits: 5,
+	}}
+	ivs := IdealIntervals(p, specs)
+	if got := ivs[0].End - ivs[0].Start; got != 5*p.Alpha {
+		t.Fatalf("flit-override occupancy = %d, want %d", got, 5*p.Alpha)
+	}
+}
+
+func TestFindConflictsDetectsOverlap(t *testing.T) {
+	specs := []simnet.PacketSpec{
+		{ID: simnet.PacketID{Source: 0}, Route: ringRoute(8, 0, 2)},
+		{ID: simnet.PacketID{Source: 1, Channel: 1}, Route: ringRoute(8, 1, 1), Inject: 10},
+	}
+	// Packet 0 occupies link 1->2 at [τ_S+α, τ_S+α+μα); packet 1 occupies
+	// it at [10+τ_S, 10+τ_S+μα): overlap since α=20 > 10.
+	conflicts := FindConflicts(IdealIntervals(p, specs))
+	if len(conflicts) != 1 {
+		t.Fatalf("got %d conflicts, want 1", len(conflicts))
+	}
+	c := conflicts[0]
+	if c.Link != (topology.Arc{From: 1, To: 2}) {
+		t.Fatalf("conflict link = %v", c.Link)
+	}
+	if c.String() == "" {
+		t.Fatal("empty conflict string")
+	}
+	if err := Verify(p, specs); err == nil {
+		t.Fatal("Verify accepted conflicting schedule")
+	}
+}
+
+func TestVerifyAcceptsSpacedPipeline(t *testing.T) {
+	// Ring pipeline with sources μ apart: the IHC invariant.
+	const n = 12
+	var specs []simnet.PacketSpec
+	for s := 0; s < n; s += p.Mu {
+		specs = append(specs, simnet.PacketSpec{
+			ID:    simnet.PacketID{Source: topology.Node(s)},
+			Route: ringRoute(n, s, n-1),
+		})
+	}
+	if err := Verify(p, specs); err != nil {
+		t.Fatalf("spaced pipeline rejected: %v", err)
+	}
+	// Spacing 1 with μ=2 must conflict.
+	specs = specs[:0]
+	for s := 0; s < n; s++ {
+		specs = append(specs, simnet.PacketSpec{
+			ID:    simnet.PacketID{Source: topology.Node(s)},
+			Route: ringRoute(n, s, n-1),
+		})
+	}
+	if err := Verify(p, specs); err == nil {
+		t.Fatal("η=1 < μ=2 pipeline accepted")
+	}
+}
+
+func TestLinkLoadAndMaxConcurrency(t *testing.T) {
+	specs := []simnet.PacketSpec{
+		{ID: simnet.PacketID{Source: 0}, Route: ringRoute(8, 0, 2)},
+		{ID: simnet.PacketID{Source: 4, Channel: 1}, Route: ringRoute(8, 4, 2)},
+	}
+	ivs := IdealIntervals(p, specs)
+	load := LinkLoad(ivs)
+	if len(load) != 4 {
+		t.Fatalf("got %d loaded links", len(load))
+	}
+	for l, v := range load {
+		if v != p.PacketTime() {
+			t.Fatalf("link %v load = %d", l, v)
+		}
+	}
+	// Both packets move in lockstep: two links busy simultaneously...
+	// hop 0 of both overlaps, and adjacent hops overlap since μα > α.
+	if mc := MaxConcurrency(ivs); mc < 2 || mc > 4 {
+		t.Fatalf("MaxConcurrency = %d", mc)
+	}
+	if MaxConcurrency(nil) != 0 {
+		t.Fatal("empty concurrency not 0")
+	}
+}

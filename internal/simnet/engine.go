@@ -1,0 +1,306 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ihc/internal/topology"
+)
+
+// The event engine. Each packet is driven by two kinds of events:
+//
+//   - evCut: the packet's header has reached an intermediate node and,
+//     after the FIFO transit time α, requests the outgoing transmitter
+//     hoping to cut through;
+//   - evSend: the packet is fully stored at a node (or is being injected
+//     by its source) and, after the startup time τ_S, requests the
+//     transmitter for a store-and-forward style send.
+//
+// A request that finds the transmitter free acquires it immediately; a
+// blocked cut-through falls back to reception + evSend; a blocked send
+// reserves the next free slot and pays the queueing delay D. Wormhole
+// packets stall in the network instead of buffering. Events are processed
+// in (time, sequence) order, so runs are fully deterministic.
+
+type evKind uint8
+
+const (
+	evCut evKind = iota
+	evSend
+)
+
+type event struct {
+	t    Time
+	seq  int64
+	pkt  int32
+	hop  int32
+	kind evKind
+	arr  Time // header arrival time at the hop's source node
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Options controls what a Run records beyond aggregate counters.
+type Options struct {
+	// Copies builds the (receiver, source) copy-count matrix. Costs
+	// O(N^2) memory; leave off for very large networks.
+	Copies bool
+	// Trace records the per-hop trace of every packet.
+	Trace bool
+	// RecordDeliveries keeps an ordered log of every delivery.
+	RecordDeliveries bool
+	// Saturated models the heavy-traffic limiting regime of the paper's
+	// worst-case analysis (Table IV): every hop is performed from
+	// intermediate storage and pays the queueing delay D, regardless of
+	// the actual transmitter state.
+	Saturated bool
+}
+
+type runState struct {
+	net      *Network
+	specs    []PacketSpec
+	opts     Options
+	queue    eventQueue
+	seq      int64
+	res      *Result
+	children map[int][]int32 // parent spec index -> dependent spec indices
+	pending  []int32         // per spec: unmet dependency count
+	ready    []Time          // per spec: latest parent delivery at Route[0]
+	started  []bool
+}
+
+// Run simulates the given packets to completion and returns aggregate
+// results. Link state (transmitter reservations, background-traffic
+// phase) persists across calls on the same Network, so staged algorithms
+// can chain Runs; use a fresh Network for independent experiments.
+func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
+	for i, s := range specs {
+		if len(s.Route) < 2 {
+			return nil, fmt.Errorf("simnet: packet %d (%v) has route of %d nodes", i, s.ID, len(s.Route))
+		}
+		if s.Inject < 0 {
+			return nil, fmt.Errorf("simnet: packet %d (%v) has negative inject time", i, s.ID)
+		}
+		for h := 0; h+1 < len(s.Route); h++ {
+			if !n.g.HasEdge(s.Route[h], s.Route[h+1]) {
+				return nil, fmt.Errorf("simnet: packet %d (%v) route step %d: {%d,%d} not an edge of %s",
+					i, s.ID, h, s.Route[h], s.Route[h+1], n.g.Name())
+			}
+		}
+	}
+	st := &runState{
+		net:      n,
+		specs:    specs,
+		opts:     opts,
+		res:      &Result{},
+		children: make(map[int][]int32),
+		pending:  make([]int32, len(specs)),
+		ready:    make([]Time, len(specs)),
+		started:  make([]bool, len(specs)),
+	}
+	for i, s := range specs {
+		for _, parent := range s.After {
+			if parent < 0 || parent >= len(specs) || parent == i {
+				return nil, fmt.Errorf("simnet: packet %d (%v) has invalid dependency %d", i, s.ID, parent)
+			}
+			st.children[parent] = append(st.children[parent], int32(i))
+			st.pending[i]++
+		}
+	}
+	if opts.Copies {
+		st.res.Copies = NewCopyMatrix(n.g.N())
+	}
+	if opts.Trace {
+		st.res.Traces = make(map[PacketID][]Hop, len(specs))
+	}
+	for i, s := range specs {
+		if len(s.After) > 0 {
+			continue
+		}
+		// Source injection: startup τ_S, then request the first link.
+		st.start(int32(i), s.Inject)
+	}
+	for st.queue.Len() > 0 {
+		ev := heap.Pop(&st.queue).(event)
+		st.handle(ev)
+	}
+	for i := range specs {
+		if !st.started[i] {
+			return nil, fmt.Errorf("simnet: packet %d (%v) never injected: no parent delivered at node %d",
+				i, specs[i].ID, specs[i].Route[0])
+		}
+	}
+	return st.res, nil
+}
+
+// start injects packet i at absolute time at.
+func (st *runState) start(i int32, at Time) {
+	st.started[i] = true
+	st.push(event{t: at + st.net.p.TauS, pkt: i, hop: 0, kind: evSend, arr: at})
+	st.res.Injections++
+}
+
+func (st *runState) push(ev event) {
+	ev.seq = st.seq
+	st.seq++
+	heap.Push(&st.queue, ev)
+}
+
+func (st *runState) handle(ev event) {
+	spec := &st.specs[ev.pkt]
+	p := st.net.p
+	from := spec.Route[ev.hop]
+	to := spec.Route[ev.hop+1]
+	// Packet transmission time: Flits overrides the network default μ.
+	pt := p.PacketTime()
+	if spec.Flits > 0 {
+		pt = Time(spec.Flits) * p.Alpha
+	}
+	l := st.net.links[topology.Arc{From: from, To: to}]
+
+	var depart Time
+	var kind HopKind
+	var blocked bool
+
+	switch {
+	case ev.kind == evCut && !st.opts.Saturated:
+		// Header requests the transmitter at ev.t = arr + α.
+		req := ev.t
+		avail, bgHit := st.linkFree(l, req)
+		if avail <= req && !bgHit {
+			depart, kind = req, HopCut
+			st.res.CutThroughs++
+		} else {
+			if l.freeAt > req {
+				st.res.Contentions++
+			}
+			if bgHit {
+				st.res.BgBlocked++
+			}
+			if p.Mode == Wormhole {
+				// Stall in the network until the transmitter frees.
+				depart, kind, blocked = max(req, avail)+p.D, HopStall, true
+				st.res.Stalls++
+			} else {
+				// Virtual cut-through: buffer the packet and retry as a
+				// store-and-forward send once fully received + started up.
+				st.push(event{t: ev.arr + pt + p.TauS, pkt: ev.pkt, hop: ev.hop, kind: evSend, arr: ev.arr})
+				return
+			}
+		}
+
+	default: // evSend, or any request in Saturated mode
+		ready := ev.t
+		if ev.kind == evCut {
+			// Saturated mode forces even would-be cut-throughs through
+			// storage: full reception plus startup.
+			ready = ev.arr + pt + p.TauS
+		}
+		avail, bgHit := st.linkFree(l, ready)
+		switch {
+		case st.opts.Saturated:
+			depart, blocked = max(ready, avail)+p.D, true
+		case avail <= ready && !bgHit:
+			depart = ready
+		default:
+			if l.freeAt > ready {
+				st.res.Contentions++
+			}
+			if bgHit {
+				st.res.BgBlocked++
+			}
+			depart, blocked = max(ready, avail)+p.D, true
+		}
+		if ev.hop == 0 {
+			kind = HopInject
+		} else {
+			kind = HopBuffer
+			st.res.BufferedHops++
+		}
+	}
+
+	// Acquire the link for [depart, depart+μα].
+	l.freeAt = depart + pt
+	l.busy += pt
+	st.res.LinkBusy += pt
+
+	tailAtNext := depart + pt
+	last := int32(len(spec.Route) - 2)
+	if st.opts.Trace {
+		st.res.Traces[spec.ID] = append(st.res.Traces[spec.ID], Hop{
+			From: from, To: to, Kind: kind,
+			HeaderDepart: depart, TailArrive: tailAtNext, Blocked: blocked,
+		})
+	}
+	// The next node receives a copy if it is the final node, or by the
+	// tee operation while the packet passes through.
+	if ev.hop == last || spec.Tee {
+		st.deliver(ev.pkt, to, tailAtNext)
+	}
+	if ev.hop < last {
+		// Header arrives at `to` at depart; after the FIFO transit α it
+		// requests the next transmitter (cut-through path), or goes
+		// through storage in store-and-forward mode.
+		if p.Mode == StoreAndForward {
+			st.push(event{t: depart + pt + p.TauS, pkt: ev.pkt, hop: ev.hop + 1, kind: evSend, arr: depart})
+		} else {
+			st.push(event{t: depart + p.Alpha, pkt: ev.pkt, hop: ev.hop + 1, kind: evCut, arr: depart})
+		}
+	}
+}
+
+// linkFree returns the earliest time >= t the link is free of both
+// broadcast and background traffic, and whether background traffic was
+// occupying it at the query time.
+func (st *runState) linkFree(l *link, t Time) (Time, bool) {
+	avail := max(l.freeAt, t)
+	if l.bg == nil {
+		return avail, false
+	}
+	free, hit := l.bg.freeFrom(avail)
+	return free, hit
+}
+
+func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
+	id := st.specs[pkt].ID
+	st.res.Deliveries++
+	for _, c := range st.children[int(pkt)] {
+		child := &st.specs[c]
+		if child.Route[0] != node {
+			continue
+		}
+		if at > st.ready[c] {
+			st.ready[c] = at
+		}
+		st.pending[c]--
+		if st.pending[c] == 0 {
+			st.start(c, st.ready[c]+child.Inject)
+		}
+	}
+	if at > st.res.Finish {
+		st.res.Finish = at
+	}
+	if st.res.Copies != nil {
+		st.res.Copies.Add(node, id.Source)
+	}
+	if st.opts.RecordDeliveries {
+		st.res.Deliveriesv = append(st.res.Deliveriesv, Delivery{ID: id, Node: node, At: at})
+	}
+}

@@ -1,0 +1,318 @@
+// Package simnet is a discrete-event simulator of point-to-point
+// interconnection networks with virtual cut-through, wormhole, and
+// store-and-forward switching, implementing exactly the timing model of
+// Lee & Shin's analysis:
+//
+//   - τ_S (Params.TauS): message startup time paid whenever a packet is
+//     injected or forwarded from intermediate storage;
+//   - α (Params.Alpha): the delay for a packet header to cut through one
+//     intermediate node's FIFO buffer;
+//   - μ (Params.Mu): packet length in FIFO-buffer units, so the
+//     transmission time of a whole packet is L·τ_L = μα;
+//   - D (Params.D): additional queueing delay experienced by a packet
+//     that found its transmitter busy.
+//
+// A cut-through hop therefore advances the header by α; a buffered hop
+// costs full reception (μα) plus τ_S (plus D if the transmitter was
+// busy). Every node can drive all of its transmitters and receivers
+// concurrently (the paper's Fig. 7 HARTS-style architecture), and a node
+// "tees" a copy of every packet that cuts through it, which is how a
+// single packet circulating a directed Hamiltonian cycle delivers the
+// message to all N-1 downstream nodes.
+//
+// Each directed link carries one packet at a time. The simulator counts
+// every acquisition that found the link busy (a contention), so the IHC
+// property "no two packets ever contend for the same link" is directly
+// observable: a dedicated-mode run must report Contentions == 0.
+// Background traffic from other tasks (the paper's ρ) is modeled per link
+// as a deterministic seeded on/off renewal process occupying the fraction
+// ρ of link capacity.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ihc/internal/topology"
+)
+
+// Time is simulated time in abstract ticks. The paper's headline numbers
+// use 1 tick = 1 ns (α = 20).
+type Time int64
+
+// Mode selects the switching method.
+type Mode int
+
+const (
+	// VirtualCutThrough advances headers directly from receiver to
+	// transmitter; blocked packets are buffered at the node and later
+	// forwarded store-and-forward style.
+	VirtualCutThrough Mode = iota
+	// StoreAndForward fully receives and re-transmits at every hop.
+	StoreAndForward
+	// Wormhole advances headers like cut-through, but blocked packets
+	// stall in the network (no reception into intermediate storage) and
+	// resume when the transmitter frees, paying only the queueing delay.
+	Wormhole
+)
+
+func (m Mode) String() string {
+	switch m {
+	case VirtualCutThrough:
+		return "virtual-cut-through"
+	case StoreAndForward:
+		return "store-and-forward"
+	case Wormhole:
+		return "wormhole"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Params collects the timing model and operating conditions of a network.
+type Params struct {
+	TauS  Time    // message startup time τ_S
+	Alpha Time    // per-node cut-through delay α
+	Mu    int     // packet length in FIFO-buffer units μ (>= 1)
+	D     Time    // queueing delay when a transmitter is found busy
+	Mode  Mode    // switching method
+	Rho   float64 // background link utilization by other tasks, 0 <= ρ < 1
+	Seed  int64   // seed for the background-traffic processes
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.TauS < 0 || p.Alpha <= 0 || p.D < 0 {
+		return fmt.Errorf("simnet: need TauS,D >= 0 and Alpha > 0, got τ_S=%d α=%d D=%d", p.TauS, p.Alpha, p.D)
+	}
+	if p.Mu < 1 {
+		return fmt.Errorf("simnet: packet length μ must be >= 1, got %d", p.Mu)
+	}
+	if p.Rho < 0 || p.Rho >= 1 {
+		return fmt.Errorf("simnet: background load ρ must be in [0,1), got %g", p.Rho)
+	}
+	return nil
+}
+
+// PacketTime returns μα, the time for a whole packet to cross one link.
+func (p Params) PacketTime() Time { return Time(p.Mu) * p.Alpha }
+
+// PacketID identifies a broadcast packet: the originating node, the
+// logical channel it travels on (for IHC, the directed Hamiltonian cycle
+// index; for tree-based baselines, the branch), and a sequence number for
+// algorithms that send several packets per channel.
+type PacketID struct {
+	Source  topology.Node
+	Channel int
+	Seq     int
+}
+
+func (id PacketID) String() string {
+	return fmt.Sprintf("pkt(src=%d ch=%d seq=%d)", id.Source, id.Channel, id.Seq)
+}
+
+// PacketSpec describes one packet to simulate: its identity, the exact
+// node route it follows (len >= 2, consecutive nodes adjacent in the
+// graph), and its injection time at Route[0]. If Tee is true every
+// intermediate node on the route receives a copy as the packet passes
+// (the HARTS "tee" operation); the final node always receives.
+type PacketSpec struct {
+	ID     PacketID
+	Route  []topology.Node
+	Inject Time
+	Tee    bool
+	// Flits is the packet length in FIFO-buffer units; 0 means the
+	// network default μ. Store-and-forward algorithms that merge
+	// messages (e.g. FRS) send progressively longer packets.
+	Flits int
+	// After lists indices (into the Run's spec slice) of packets this
+	// packet depends on: it is injected only once every listed packet
+	// has delivered a copy at this packet's Route[0], at the latest such
+	// delivery time plus Inject (which is then a relative delay). This
+	// models redirects (VRS/KS/VSQ: a node re-sends a packet it
+	// received) and merges (FRS: a node combines two received messages
+	// before relaying). Dependencies must be acyclic.
+	After []int
+}
+
+// Delivery records one node receiving one packet copy.
+type Delivery struct {
+	ID   PacketID
+	Node topology.Node
+	At   Time
+}
+
+// HopKind classifies how a hop was performed.
+type HopKind int
+
+const (
+	HopInject HopKind = iota // source injection (startup + transmission)
+	HopCut                   // cut-through at an intermediate node
+	HopBuffer                // buffered: full reception + startup (+D if blocked)
+	HopStall                 // wormhole stall: waited in network (+D)
+)
+
+func (k HopKind) String() string {
+	switch k {
+	case HopInject:
+		return "inject"
+	case HopCut:
+		return "cut-through"
+	case HopBuffer:
+		return "buffered"
+	case HopStall:
+		return "stalled"
+	default:
+		return fmt.Sprintf("HopKind(%d)", int(k))
+	}
+}
+
+// Hop is one step of a packet trace.
+type Hop struct {
+	From, To     topology.Node
+	Kind         HopKind
+	HeaderDepart Time // when the header left From
+	TailArrive   Time // when the tail fully arrived at To
+	Blocked      bool // transmitter (or background traffic) was busy
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Finish       Time // latest delivery time (makespan)
+	Deliveries   int  // total copies delivered (tee + final)
+	Contentions  int  // link acquisitions that found the link busy with another broadcast packet
+	BgBlocked    int  // link acquisitions delayed by background traffic
+	CutThroughs  int  // hops performed as cut-throughs
+	BufferedHops int  // hops performed from intermediate storage
+	Stalls       int  // wormhole in-network stalls
+	Injections   int  // packets injected
+	LinkBusy     Time // total busy time summed over all links (broadcast traffic only)
+	Copies       *CopyMatrix
+	Traces       map[PacketID][]Hop // populated only when Options.Trace
+	Deliveriesv  []Delivery         // populated only when Options.RecordDeliveries
+}
+
+// Utilization returns the fraction of total link capacity used by the
+// broadcast operation over the makespan: LinkBusy / (links * Finish).
+func (r *Result) Utilization(links int) float64 {
+	if r.Finish <= 0 || links == 0 {
+		return 0
+	}
+	return float64(r.LinkBusy) / (float64(links) * float64(r.Finish))
+}
+
+// CopyMatrix counts, for every (receiver, source) pair, how many copies of
+// source's message the receiver obtained.
+type CopyMatrix struct {
+	n      int
+	counts []uint16
+}
+
+// NewCopyMatrix returns a zeroed n x n copy-count matrix.
+func NewCopyMatrix(n int) *CopyMatrix {
+	return &CopyMatrix{n: n, counts: make([]uint16, n*n)}
+}
+
+// Add records one more copy of src's message at recv.
+func (cm *CopyMatrix) Add(recv, src topology.Node) {
+	cm.counts[int(recv)*cm.n+int(src)]++
+}
+
+// Merge adds all counts of other into cm. The matrices must be the same
+// size.
+func (cm *CopyMatrix) Merge(other *CopyMatrix) {
+	if other.n != cm.n {
+		panic(fmt.Sprintf("simnet: merging %d-node matrix into %d-node matrix", other.n, cm.n))
+	}
+	for i, c := range other.counts {
+		cm.counts[i] += c
+	}
+}
+
+// Get returns how many copies of src's message recv obtained.
+func (cm *CopyMatrix) Get(recv, src topology.Node) int {
+	return int(cm.counts[int(recv)*cm.n+int(src)])
+}
+
+// VerifyATA checks the all-to-all reliable broadcast postcondition: every
+// node received exactly want copies of every other node's message (and
+// none of its own, beyond returned copies which the algorithms suppress).
+func (cm *CopyMatrix) VerifyATA(want int) error {
+	for r := 0; r < cm.n; r++ {
+		for s := 0; s < cm.n; s++ {
+			got := int(cm.counts[r*cm.n+s])
+			switch {
+			case r == s && got != 0:
+				return fmt.Errorf("simnet: node %d received %d copies of its own message", r, got)
+			case r != s && got != want:
+				return fmt.Errorf("simnet: node %d received %d copies from %d, want %d", r, got, s, want)
+			}
+		}
+	}
+	return nil
+}
+
+// MinCopies returns the smallest copy count over all ordered pairs of
+// distinct nodes.
+func (cm *CopyMatrix) MinCopies() int {
+	minC := math.MaxInt
+	for r := 0; r < cm.n; r++ {
+		for s := 0; s < cm.n; s++ {
+			if r == s {
+				continue
+			}
+			if c := int(cm.counts[r*cm.n+s]); c < minC {
+				minC = c
+			}
+		}
+	}
+	if minC == math.MaxInt {
+		return 0
+	}
+	return minC
+}
+
+// link is one directed communication link.
+type link struct {
+	freeAt Time
+	busy   Time // accumulated busy time from broadcast packets
+	bg     *bgProcess
+}
+
+// Network is a simulatable instance of a graph plus switching parameters.
+type Network struct {
+	g      *topology.Graph
+	p      Params
+	links  map[topology.Arc]*link
+	arcIdx map[topology.Arc]int
+}
+
+// New builds a network over g with the given parameters.
+func New(g *topology.Graph, p Params) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		g:      g,
+		p:      p,
+		links:  make(map[topology.Arc]*link, 2*g.M()),
+		arcIdx: make(map[topology.Arc]int, 2*g.M()),
+	}
+	for i, a := range g.Arcs() {
+		l := &link{}
+		if p.Rho > 0 {
+			const mix = 0x9e3779b97f4a7c15
+			l.bg = newBgProcess(rand.New(rand.NewSource(p.Seed^int64(uint64(i)*mix+1))), p)
+		}
+		n.links[a] = l
+		n.arcIdx[a] = i
+	}
+	return n, nil
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Params returns the network's timing parameters.
+func (n *Network) Params() Params { return n.p }

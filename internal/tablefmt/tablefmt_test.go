@@ -1,0 +1,66 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tab := New("Title", "A", "LongHeader")
+	tab.Add("x", "1")
+	tab.Add("longer", "2")
+	tab.Note("a note %d", 7)
+	s := tab.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Fatalf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines: %q", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "LongHeader") {
+		t.Fatalf("header line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Fatalf("rule line: %q", lines[2])
+	}
+	// Column 2 must start at the same offset in both rows.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "2") {
+		t.Fatalf("misaligned columns:\n%q\n%q", lines[3], lines[4])
+	}
+	if !strings.Contains(lines[5], "note: a note 7") {
+		t.Fatalf("note line: %q", lines[5])
+	}
+}
+
+func TestAddfFormatting(t *testing.T) {
+	tab := New("", "x")
+	tab.Addf(3, 1.23456789, "s", true)
+	row := tab.Rows[0]
+	if row[0] != "3" || row[1] != "1.235" || row[2] != "s" || row[3] != "true" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.Add("1")
+	tab.Add("1", "2", "3")
+	s := tab.String()
+	if !strings.Contains(s, "3") {
+		t.Fatalf("extra cell dropped: %q", s)
+	}
+}
+
+func TestNoHeader(t *testing.T) {
+	tab := &Table{}
+	tab.Add("only", "row")
+	s := tab.String()
+	if strings.Contains(s, "--") {
+		t.Fatalf("rule rendered without header: %q", s)
+	}
+	if !strings.Contains(s, "only") {
+		t.Fatalf("row missing: %q", s)
+	}
+}

@@ -1,0 +1,227 @@
+package topology
+
+// This file provides the connectivity machinery used to validate class-Λ
+// membership: by Menger's theorem a γ-connected graph has γ node-disjoint
+// paths between any two nodes, and the paper's fault-tolerance argument
+// rests on sending every message over γ edge-disjoint directed Hamiltonian
+// cycles. Node and edge connectivity are computed with unit-capacity
+// max-flow (Edmonds-Karp), which is ample for the network sizes under test.
+
+// BFS returns the vector of hop distances from src; unreachable nodes get
+// distance -1.
+func (g *Graph) BFS(src Node) []int {
+	g.checkNode(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []Node{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n <= 1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the largest hop distance between any pair of nodes, or
+// -1 if the graph is disconnected.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		for _, d := range g.BFS(Node(u)) {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// flowNet is a unit-capacity residual network for Edmonds-Karp.
+type flowNet struct {
+	n     int
+	head  []int
+	next  []int
+	to    []int
+	cap   []int8
+	prevE []int // BFS bookkeeping
+}
+
+func newFlowNet(n int) *flowNet {
+	f := &flowNet{n: n, head: make([]int, n), prevE: make([]int, n)}
+	for i := range f.head {
+		f.head[i] = -1
+	}
+	return f
+}
+
+// addArc adds a directed arc u->v with capacity c and its residual v->u
+// with capacity 0.
+func (f *flowNet) addArc(u, v, c int) {
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, int8(c))
+	f.next = append(f.next, f.head[u])
+	f.head[u] = len(f.to) - 1
+
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = len(f.to) - 1
+}
+
+// maxFlow computes the max flow from s to t, stopping early once the flow
+// reaches limit (pass a negative limit for no early stop).
+func (f *flowNet) maxFlow(s, t, limit int) int {
+	flow := 0
+	for limit < 0 || flow < limit {
+		// BFS for an augmenting path.
+		for i := range f.prevE {
+			f.prevE[i] = -1
+		}
+		f.prevE[s] = -2
+		queue := []int{s}
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for e := f.head[u]; e >= 0; e = f.next[e] {
+				v := f.to[e]
+				if f.cap[e] > 0 && f.prevE[v] == -1 {
+					f.prevE[v] = e
+					if v == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		// All capacities are 1, so each augmenting path carries 1 unit.
+		for v := t; v != s; {
+			e := f.prevE[v]
+			f.cap[e]--
+			f.cap[e^1]++
+			v = f.to[e^1]
+		}
+		flow++
+	}
+	return flow
+}
+
+// EdgeDisjointPaths returns the maximum number of pairwise edge-disjoint
+// paths between distinct nodes s and t.
+func (g *Graph) EdgeDisjointPaths(s, t Node) int {
+	g.checkNode(s)
+	g.checkNode(t)
+	if s == t {
+		panic("topology: EdgeDisjointPaths with s == t")
+	}
+	f := newFlowNet(g.N())
+	for _, e := range g.Edges() {
+		f.addArc(int(e.U), int(e.V), 1)
+		f.addArc(int(e.V), int(e.U), 1)
+	}
+	return f.maxFlow(int(s), int(t), -1)
+}
+
+// NodeDisjointPaths returns the maximum number of internally node-disjoint
+// paths between distinct nodes s and t (standard node-splitting reduction:
+// node v becomes v_in -> v_out with capacity 1).
+func (g *Graph) NodeDisjointPaths(s, t Node) int {
+	g.checkNode(s)
+	g.checkNode(t)
+	if s == t {
+		panic("topology: NodeDisjointPaths with s == t")
+	}
+	n := g.N()
+	// v_in = v, v_out = v + n.
+	f := newFlowNet(2 * n)
+	for v := 0; v < n; v++ {
+		c := 1
+		if Node(v) == s || Node(v) == t {
+			c = len(g.adj[v]) // source/sink are not capacity-limited
+		}
+		f.addArc(v, v+n, c)
+	}
+	for _, e := range g.Edges() {
+		f.addArc(int(e.U)+n, int(e.V), 1)
+		f.addArc(int(e.V)+n, int(e.U), 1)
+	}
+	return f.maxFlow(int(s)+n, int(t), -1)
+}
+
+// EdgeConnectivity returns λ(G), the minimum over node pairs of the number
+// of edge-disjoint paths. For a connected graph it suffices to fix s = 0
+// and scan all t.
+func (g *Graph) EdgeConnectivity() int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	best := -1
+	for t := 1; t < n; t++ {
+		k := g.EdgeDisjointPaths(0, Node(t))
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// NodeConnectivity returns κ(G), the minimum over all non-adjacent node
+// pairs of the number of internally node-disjoint paths between them; for
+// a complete graph κ = n-1. This is the exact definition evaluated
+// directly — quadratic in n, which is fine for the validation-sized graphs
+// it is applied to.
+func (g *Graph) NodeConnectivity() int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	best := n - 1
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if g.HasEdge(Node(s), Node(t)) {
+				continue
+			}
+			if k := g.NodeDisjointPaths(Node(s), Node(t)); k < best {
+				best = k
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,240 @@
+package topology
+
+import "fmt"
+
+// Cycle returns the undirected cycle C_k on k >= 3 nodes, with node i
+// adjacent to (i±1) mod k.
+func Cycle(k int) *Graph {
+	if k < 3 {
+		panic(fmt.Sprintf("topology: Cycle requires k >= 3, got %d", k))
+	}
+	g := New(fmt.Sprintf("C%d", k), k)
+	for i := 0; i < k; i++ {
+		g.AddEdge(Node(i), Node((i+1)%k))
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(fmt.Sprintf("K%d", n), n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(Node(u), Node(v))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the m-dimensional binary hypercube Q_m with N = 2^m
+// nodes. Node addresses are m-bit integers; two nodes are adjacent iff
+// their addresses differ in exactly one bit. Bit i of the address is the
+// paper's "direction i" (0 <= i <= m-1).
+func Hypercube(m int) *Graph {
+	if m < 0 || m > 30 {
+		panic(fmt.Sprintf("topology: Hypercube dimension %d out of range [0,30]", m))
+	}
+	n := 1 << m
+	g := New(fmt.Sprintf("Q%d", m), n)
+	for u := 0; u < n; u++ {
+		for i := 0; i < m; i++ {
+			v := u ^ (1 << i)
+			if u < v {
+				g.AddEdge(Node(u), Node(v))
+			}
+		}
+	}
+	return g
+}
+
+// HypercubeDirection returns which direction (differing bit index) joins
+// adjacent hypercube nodes u and v, or -1 if they are not adjacent in Q_m.
+func HypercubeDirection(u, v Node) int {
+	x := uint(u ^ v)
+	if x == 0 || x&(x-1) != 0 {
+		return -1
+	}
+	d := 0
+	for x > 1 {
+		x >>= 1
+		d++
+	}
+	return d
+}
+
+// SquareTorus returns the torus-wrapped square mesh SQ_m: an m x m grid
+// (m >= 3) with wraparound in both rows and columns. Node (r, c) has index
+// r*m + c. Every node has degree 4, so SQ_m is in class Λ with γ = 4.
+func SquareTorus(m int) *Graph {
+	if m < 3 {
+		panic(fmt.Sprintf("topology: SquareTorus requires m >= 3, got %d", m))
+	}
+	g := New(fmt.Sprintf("SQ%d", m), m*m)
+	id := func(r, c int) Node { return Node(((r+m)%m)*m + (c+m)%m) }
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			g.AddEdge(id(r, c), id(r, c+1))
+			g.AddEdge(id(r, c), id(r+1, c))
+		}
+	}
+	return g
+}
+
+// TorusNode returns the node index of grid position (r, c) in SQ_m, with
+// both coordinates taken modulo m.
+func TorusNode(m, r, c int) Node {
+	return Node(((r%m+m)%m)*m + ((c%m + m) % m))
+}
+
+// TorusCoords returns the (row, column) of node u in SQ_m.
+func TorusCoords(m int, u Node) (r, c int) {
+	return int(u) / m, int(u) % m
+}
+
+// HexMeshSize returns the number of nodes in a C-wrapped hexagonal mesh of
+// size m: N = 3m(m-1) + 1.
+func HexMeshSize(m int) int { return 3*m*(m-1) + 1 }
+
+// HexSteps returns the three address steps that define the C-wrapped
+// hexagonal mesh H_m: node s is adjacent to s±1, s±(3m-2) and s±(3m-1),
+// all modulo N. Each step is coprime with N, so the edges of each of the
+// three axis directions form a Hamiltonian cycle (Chen, Shin & Kandlur,
+// IEEE ToC 1990), which is what puts H_m in class Λ with γ = 6.
+func HexSteps(m int) [3]int { return [3]int{1, 3*m - 2, 3*m - 1} }
+
+// HexMesh returns the C-wrapped hexagonal mesh H_m of size m >= 2, with
+// N = 3m(m-1)+1 nodes and degree 6. H_2 is K_7.
+func HexMesh(m int) *Graph {
+	if m < 2 {
+		panic(fmt.Sprintf("topology: HexMesh requires m >= 2, got %d", m))
+	}
+	n := HexMeshSize(m)
+	g := New(fmt.Sprintf("H%d", m), n)
+	for _, step := range HexSteps(m) {
+		for s := 0; s < n; s++ {
+			u, v := Node(s), Node((s+step)%n)
+			if !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CartesianProduct returns the cartesian product g x h (also called the
+// cartesian sum in Aubert & Schneider's terminology): nodes are pairs
+// (a, b) with index a*h.N() + b; (a,b) ~ (a',b) iff a ~ a' in g, and
+// (a,b) ~ (a,b') iff b ~ b' in h. The product of two cycles C_k x C_l is a
+// k x l torus; Q_m = K_2 x Q_{m-1}.
+func CartesianProduct(g, h *Graph) *Graph {
+	n := g.N() * h.N()
+	p := New(fmt.Sprintf("(%s x %s)", g.Name(), h.Name()), n)
+	hn := h.N()
+	for a := 0; a < g.N(); a++ {
+		for b := 0; b < hn; b++ {
+			u := Node(a*hn + b)
+			for _, a2 := range g.Neighbors(Node(a)) {
+				v := Node(int(a2)*hn + b)
+				if u < v {
+					p.AddEdge(u, v)
+				}
+			}
+			for _, b2 := range h.Neighbors(Node(b)) {
+				v := Node(a*hn + int(b2))
+				if u < v {
+					p.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ProductNode returns the index in g x h of the pair (a, b) where b ranges
+// over h's nodes.
+func ProductNode(h *Graph, a, b Node) Node { return a*Node(h.N()) + b }
+
+// ProductCoords splits a product-graph node index back into its (a, b)
+// pair.
+func ProductCoords(h *Graph, u Node) (a, b Node) {
+	hn := Node(h.N())
+	return u / hn, u % hn
+}
+
+// TorusND returns the d-dimensional torus C_k1 x C_k2 x ... x C_kd — the
+// general "regular mesh" of the paper's class Λ, with degree γ = 2d.
+// Every dimension must be >= 3 (a 2-long dimension would create parallel
+// edges). Node coordinates are mixed-radix with the last dimension
+// fastest: index = ((x1·k2 + x2)·k3 + x3)... The name is "T<k1>x<k2>x...".
+func TorusND(dims ...int) *Graph {
+	if len(dims) == 0 {
+		panic("topology: TorusND needs at least one dimension")
+	}
+	n := 1
+	name := "T"
+	for i, k := range dims {
+		if k < 3 {
+			panic(fmt.Sprintf("topology: TorusND dimension %d is %d, need >= 3", i, k))
+		}
+		if n > 1<<22/k {
+			panic("topology: TorusND too large")
+		}
+		n *= k
+		if i > 0 {
+			name += "x"
+		}
+		name += fmt.Sprintf("%d", k)
+	}
+	g := New(name, n)
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	coords := make([]int, len(dims))
+	for u := 0; u < n; u++ {
+		// Decode u's coordinates.
+		rem := u
+		for i := range dims {
+			coords[i] = rem / strides[i]
+			rem %= strides[i]
+		}
+		// The +1 edge of every dimension; each undirected edge is
+		// generated by exactly one (node, dimension) pair — the node
+		// whose +1 step it is.
+		for i, k := range dims {
+			up := u - coords[i]*strides[i] + ((coords[i]+1)%k)*strides[i]
+			g.AddEdge(Node(u), Node(up))
+		}
+	}
+	return g
+}
+
+// TorusDims parses a TorusND name of the form "T<k1>x<k2>x..." back into
+// its dimension list, returning ok=false for other names.
+func TorusDims(name string) ([]int, bool) {
+	if len(name) < 2 || name[0] != 'T' {
+		return nil, false
+	}
+	var dims []int
+	cur := 0
+	seen := false
+	for _, ch := range name[1:] {
+		switch {
+		case ch >= '0' && ch <= '9':
+			cur = cur*10 + int(ch-'0')
+			seen = true
+		case ch == 'x' && seen:
+			dims = append(dims, cur)
+			cur, seen = 0, false
+		default:
+			return nil, false
+		}
+	}
+	if !seen {
+		return nil, false
+	}
+	dims = append(dims, cur)
+	return dims, true
+}

@@ -1,0 +1,208 @@
+// Package topology provides the undirected interconnection-network graphs
+// used by the IHC all-to-all reliable broadcast algorithm and its baselines:
+// binary hypercubes Q_m, torus-wrapped square meshes SQ_m, and C-wrapped
+// hexagonal meshes H_m, together with the generic graph operations
+// (cartesian product, connectivity, regularity) needed by the
+// Hamiltonian-decomposition constructions of Lee & Shin (1990/1994).
+//
+// Graphs are simple and undirected. A directed view (each undirected edge
+// replaced by two arcs) is what the routing layers operate on; see Arc.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node identifies a vertex of a Graph. Nodes of an N-node graph are always
+// numbered 0..N-1.
+type Node int
+
+// Edge is an undirected edge in canonical form (U < V).
+type Edge struct {
+	U, V Node
+}
+
+// NewEdge returns the canonical (smaller endpoint first) form of the edge
+// {u, v}. It panics if u == v, since all graphs here are simple.
+func NewEdge(u, v Node) Edge {
+	if u == v {
+		panic(fmt.Sprintf("topology: self-loop at node %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{u, v}
+}
+
+// Arc is a directed communication link from one node to an adjacent node.
+// In the paper's notation, the directed graph G^dir has every undirected
+// edge of G replaced by the two arcs (u,v) and (v,u).
+type Arc struct {
+	From, To Node
+}
+
+// Reverse returns the arc traversed in the opposite direction.
+func (a Arc) Reverse() Arc { return Arc{a.To, a.From} }
+
+// Edge returns the undirected edge underlying the arc.
+func (a Arc) Edge() Edge { return NewEdge(a.From, a.To) }
+
+func (a Arc) String() string { return fmt.Sprintf("%d->%d", a.From, a.To) }
+
+// Graph is a simple undirected graph over nodes 0..N()-1.
+type Graph struct {
+	name string
+	adj  [][]Node
+	// edgeSet is built lazily by HasEdge for O(1) membership tests.
+	edgeSet map[Edge]struct{}
+	sorted  bool
+}
+
+// New returns an empty graph with n isolated nodes.
+func New(name string, n int) *Graph {
+	if n < 0 {
+		panic("topology: negative node count")
+	}
+	return &Graph{name: name, adj: make([][]Node, n)}
+}
+
+// Name returns the human-readable name of the graph (e.g. "Q4", "SQ5").
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge {u, v}. Duplicate insertions and
+// self-loops panic: the constructions in this repository are exact, and a
+// duplicate edge always indicates a construction bug.
+func (g *Graph) AddEdge(u, v Node) {
+	if u == v {
+		panic(fmt.Sprintf("topology: self-loop at node %d in %s", u, g.name))
+	}
+	g.checkNode(u)
+	g.checkNode(v)
+	if g.hasEdgeSlow(u, v) {
+		panic(fmt.Sprintf("topology: duplicate edge {%d,%d} in %s", u, v, g.name))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edgeSet = nil
+	g.sorted = false
+}
+
+func (g *Graph) checkNode(u Node) {
+	if u < 0 || int(u) >= len(g.adj) {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d) in %s", u, len(g.adj), g.name))
+	}
+}
+
+func (g *Graph) hasEdgeSlow(u, v Node) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether {u, v} is an edge of g.
+func (g *Graph) HasEdge(u, v Node) bool {
+	if u == v || u < 0 || v < 0 || int(u) >= g.N() || int(v) >= g.N() {
+		return false
+	}
+	if g.edgeSet == nil {
+		g.edgeSet = make(map[Edge]struct{}, g.M())
+		for u, nbrs := range g.adj {
+			for _, v := range nbrs {
+				g.edgeSet[NewEdge(Node(u), v)] = struct{}{}
+			}
+		}
+	}
+	_, ok := g.edgeSet[NewEdge(u, v)]
+	return ok
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u Node) []Node {
+	g.checkNode(u)
+	if !g.sorted {
+		for _, nbrs := range g.adj {
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		}
+		g.sorted = true
+	}
+	return g.adj[u]
+}
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u Node) int {
+	g.checkNode(u)
+	return len(g.adj[u])
+}
+
+// Edges returns all undirected edges in canonical form, sorted.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if Node(u) < v {
+				edges = append(edges, Edge{Node(u), v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// Arcs returns all 2*M() directed arcs of G^dir.
+func (g *Graph) Arcs() []Arc {
+	arcs := make([]Arc, 0, 2*g.M())
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			arcs = append(arcs, Arc{Node(u), v})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	return arcs
+}
+
+// IsRegular reports whether every node has the same degree, and if so,
+// returns that degree.
+func (g *Graph) IsRegular() (degree int, ok bool) {
+	if g.N() == 0 {
+		return 0, true
+	}
+	degree = len(g.adj[0])
+	for _, nbrs := range g.adj[1:] {
+		if len(nbrs) != degree {
+			return 0, false
+		}
+	}
+	return degree, true
+}
+
+// String returns a short description such as "Q4 (16 nodes, 32 edges)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s (%d nodes, %d edges)", g.name, g.N(), g.M())
+}

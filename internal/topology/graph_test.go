@@ -1,0 +1,469 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("NewEdge(5,2) = %v, want {2 5}", e)
+	}
+	if NewEdge(2, 5) != e {
+		t.Fatalf("NewEdge not canonical")
+	}
+}
+
+func TestNewEdgeSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewEdge(3,3) did not panic")
+		}
+	}()
+	NewEdge(3, 3)
+}
+
+func TestArcReverseAndEdge(t *testing.T) {
+	a := Arc{From: 7, To: 3}
+	if a.Reverse() != (Arc{From: 3, To: 7}) {
+		t.Fatalf("Reverse = %v", a.Reverse())
+	}
+	if a.Edge() != (Edge{U: 3, V: 7}) {
+		t.Fatalf("Edge = %v", a.Edge())
+	}
+	if a.String() != "7->3" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestAddEdgeDuplicatePanics(t *testing.T) {
+	g := New("g", 3)
+	g.AddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate AddEdge did not panic")
+		}
+	}()
+	g.AddEdge(1, 0)
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New("tri", 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatalf("HasEdge failed")
+	}
+	if g.HasEdge(0, 0) || g.HasEdge(0, 5) || g.HasEdge(-1, 0) {
+		t.Fatalf("HasEdge accepted invalid input")
+	}
+	if d, ok := g.IsRegular(); !ok || d != 2 {
+		t.Fatalf("IsRegular = %d,%v", d, ok)
+	}
+	nbrs := g.Neighbors(1)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v", nbrs)
+	}
+	if len(g.Edges()) != 3 {
+		t.Fatalf("Edges = %v", g.Edges())
+	}
+	if len(g.Arcs()) != 6 {
+		t.Fatalf("Arcs = %v", g.Arcs())
+	}
+}
+
+func TestCycle(t *testing.T) {
+	for _, k := range []int{3, 4, 7, 12} {
+		c := Cycle(k)
+		if c.N() != k || c.M() != k {
+			t.Fatalf("C%d: N=%d M=%d", k, c.N(), c.M())
+		}
+		if d, ok := c.IsRegular(); !ok || d != 2 {
+			t.Fatalf("C%d not 2-regular", k)
+		}
+		if c.Diameter() != k/2 {
+			t.Fatalf("C%d diameter = %d, want %d", k, c.Diameter(), k/2)
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	k := Complete(5)
+	if k.M() != 10 {
+		t.Fatalf("K5 edges = %d", k.M())
+	}
+	if k.NodeConnectivity() != 4 {
+		t.Fatalf("κ(K5) = %d", k.NodeConnectivity())
+	}
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	for m := 0; m <= 6; m++ {
+		q := Hypercube(m)
+		wantN := 1 << m
+		if q.N() != wantN {
+			t.Fatalf("Q%d: N = %d", m, q.N())
+		}
+		if q.M() != m*wantN/2 {
+			t.Fatalf("Q%d: M = %d, want %d", m, q.M(), m*wantN/2)
+		}
+		if m >= 1 {
+			if d, ok := q.IsRegular(); !ok || d != m {
+				t.Fatalf("Q%d not %d-regular", m, m)
+			}
+			if q.Diameter() != m {
+				t.Fatalf("Q%d diameter = %d", m, q.Diameter())
+			}
+		}
+	}
+}
+
+func TestHypercubeDirection(t *testing.T) {
+	if d := HypercubeDirection(0, 4); d != 2 {
+		t.Fatalf("direction(0,4) = %d", d)
+	}
+	if d := HypercubeDirection(5, 4); d != 0 {
+		t.Fatalf("direction(5,4) = %d", d)
+	}
+	if d := HypercubeDirection(0, 3); d != -1 {
+		t.Fatalf("direction(0,3) = %d, want -1", d)
+	}
+	if d := HypercubeDirection(6, 6); d != -1 {
+		t.Fatalf("direction(6,6) = %d, want -1", d)
+	}
+}
+
+func TestHypercubeConnectivity(t *testing.T) {
+	for m := 2; m <= 4; m++ {
+		q := Hypercube(m)
+		if k := q.NodeConnectivity(); k != m {
+			t.Fatalf("κ(Q%d) = %d, want %d", m, k, m)
+		}
+		if k := q.EdgeConnectivity(); k != m {
+			t.Fatalf("λ(Q%d) = %d, want %d", m, k, m)
+		}
+	}
+}
+
+func TestSquareTorusStructure(t *testing.T) {
+	for _, m := range []int{3, 4, 5, 8} {
+		sq := SquareTorus(m)
+		if sq.N() != m*m {
+			t.Fatalf("SQ%d: N = %d", m, sq.N())
+		}
+		if sq.M() != 2*m*m {
+			t.Fatalf("SQ%d: M = %d", m, sq.M())
+		}
+		if d, ok := sq.IsRegular(); !ok || d != 4 {
+			t.Fatalf("SQ%d not 4-regular", m)
+		}
+		// Torus diameter is 2*floor(m/2).
+		if want := 2 * (m / 2); sq.Diameter() != want {
+			t.Fatalf("SQ%d diameter = %d, want %d", m, sq.Diameter(), want)
+		}
+	}
+}
+
+func TestSquareTorusConnectivity(t *testing.T) {
+	sq := SquareTorus(4)
+	if k := sq.NodeConnectivity(); k != 4 {
+		t.Fatalf("κ(SQ4) = %d, want 4", k)
+	}
+	if k := sq.EdgeConnectivity(); k != 4 {
+		t.Fatalf("λ(SQ4) = %d, want 4", k)
+	}
+}
+
+func TestTorusCoordsRoundTrip(t *testing.T) {
+	m := 5
+	for r := -2; r < 8; r++ {
+		for c := -2; c < 8; c++ {
+			u := TorusNode(m, r, c)
+			rr, cc := TorusCoords(m, u)
+			if rr != ((r%m)+m)%m || cc != ((c%m)+m)%m {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", r, c, u, rr, cc)
+			}
+		}
+	}
+}
+
+func TestHexMeshStructure(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5} {
+		h := HexMesh(m)
+		wantN := 3*m*(m-1) + 1
+		if h.N() != wantN {
+			t.Fatalf("H%d: N = %d, want %d", m, h.N(), wantN)
+		}
+		if d, ok := h.IsRegular(); !ok || d != 6 {
+			t.Fatalf("H%d not 6-regular (deg=%d ok=%v)", m, d, ok)
+		}
+		if h.M() != 3*wantN {
+			t.Fatalf("H%d: M = %d, want %d", m, h.M(), 3*wantN)
+		}
+	}
+}
+
+func TestHexMeshH2IsK7(t *testing.T) {
+	h := HexMesh(2)
+	k := Complete(7)
+	if h.N() != 7 || h.M() != k.M() {
+		t.Fatalf("H2 has %d nodes %d edges", h.N(), h.M())
+	}
+	for u := 0; u < 7; u++ {
+		for v := u + 1; v < 7; v++ {
+			if !h.HasEdge(Node(u), Node(v)) {
+				t.Fatalf("H2 missing edge {%d,%d}", u, v)
+			}
+		}
+	}
+}
+
+func TestHexMeshConnectivity(t *testing.T) {
+	h := HexMesh(3) // 19 nodes, the HARTS configuration
+	if k := h.NodeConnectivity(); k != 6 {
+		t.Fatalf("κ(H3) = %d, want 6", k)
+	}
+	if k := h.EdgeConnectivity(); k != 6 {
+		t.Fatalf("λ(H3) = %d, want 6", k)
+	}
+}
+
+func TestHexStepsCoprime(t *testing.T) {
+	gcd := func(a, b int) int {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	for m := 2; m <= 40; m++ {
+		n := HexMeshSize(m)
+		for _, s := range HexSteps(m) {
+			if gcd(s, n) != 1 {
+				t.Fatalf("H%d: step %d shares a factor with N=%d", m, s, n)
+			}
+		}
+	}
+}
+
+func TestCartesianProductTorus(t *testing.T) {
+	// C4 x C4 must be exactly SQ4 up to the node numbering used by both
+	// constructions (which coincide: (a,b) -> 4a+b).
+	p := CartesianProduct(Cycle(4), Cycle(4))
+	sq := SquareTorus(4)
+	if p.N() != sq.N() || p.M() != sq.M() {
+		t.Fatalf("C4xC4: %d nodes %d edges; SQ4: %d nodes %d edges",
+			p.N(), p.M(), sq.N(), sq.M())
+	}
+	for _, e := range sq.Edges() {
+		if !p.HasEdge(e.U, e.V) {
+			t.Fatalf("C4xC4 missing torus edge %v", e)
+		}
+	}
+}
+
+func TestCartesianProductHypercubeRecursion(t *testing.T) {
+	// Q_m = K2 x Q_{m-1} (up to relabeling; with our index order the
+	// product node (a,b) = a*2^{m-1}+b matches the hypercube address).
+	for m := 1; m <= 5; m++ {
+		q := Hypercube(m)
+		p := CartesianProduct(Complete(2), Hypercube(m-1))
+		if p.N() != q.N() || p.M() != q.M() {
+			t.Fatalf("m=%d: product %d/%d vs Q %d/%d", m, p.N(), p.M(), q.N(), q.M())
+		}
+		for _, e := range q.Edges() {
+			if !p.HasEdge(e.U, e.V) {
+				t.Fatalf("m=%d: product missing edge %v", m, e)
+			}
+		}
+	}
+}
+
+func TestProductCoordsRoundTrip(t *testing.T) {
+	h := Cycle(5)
+	for a := Node(0); a < 4; a++ {
+		for b := Node(0); b < 5; b++ {
+			u := ProductNode(h, a, b)
+			a2, b2 := ProductCoords(h, u)
+			if a2 != a || b2 != b {
+				t.Fatalf("(%d,%d) -> %d -> (%d,%d)", a, b, u, a2, b2)
+			}
+		}
+	}
+}
+
+func TestQ4IsomorphicToSQ4(t *testing.T) {
+	// The paper (Fig. 3) notes Q4 can be redrawn as a 4x4 torus. The
+	// explicit isomorphism maps torus cell (r,c) to hypercube address
+	// gray(r)<<2 | gray(c).
+	gray := [4]int{0, 1, 3, 2}
+	q := Hypercube(4)
+	sq := SquareTorus(4)
+	phi := func(u Node) Node {
+		r, c := TorusCoords(4, u)
+		return Node(gray[r]<<2 | gray[c])
+	}
+	for _, e := range sq.Edges() {
+		if !q.HasEdge(phi(e.U), phi(e.V)) {
+			t.Fatalf("image of torus edge %v is not a Q4 edge", e)
+		}
+	}
+	// A degree-preserving injective edge map between equal-sized regular
+	// graphs with equal edge counts is an isomorphism.
+	seen := make(map[Node]bool)
+	for u := Node(0); u < 16; u++ {
+		v := phi(u)
+		if seen[v] {
+			t.Fatalf("phi not injective at %d", u)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	q := Hypercube(3)
+	dist := q.BFS(0)
+	for v := 0; v < 8; v++ {
+		want := popcount(v)
+		if dist[v] != want {
+			t.Fatalf("dist(0,%d) = %d, want %d", v, dist[v], want)
+		}
+	}
+	disc := New("disc", 4)
+	disc.AddEdge(0, 1)
+	if disc.Connected() {
+		t.Fatalf("disconnected graph reported connected")
+	}
+	if disc.Diameter() != -1 {
+		t.Fatalf("diameter of disconnected graph = %d", disc.Diameter())
+	}
+}
+
+func popcount(v int) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+// Property: in any hypercube, the number of node-disjoint paths between
+// any two distinct nodes equals the dimension (Menger + κ(Q_m) = m).
+func TestQuickHypercubeMenger(t *testing.T) {
+	q := Hypercube(4)
+	f := func(a, b uint8) bool {
+		u := Node(a % 16)
+		v := Node(b % 16)
+		if u == v {
+			return true
+		}
+		return q.NodeDisjointPaths(u, v) == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distance in SQ_m equals the L1 torus distance.
+func TestQuickTorusDistance(t *testing.T) {
+	const m = 6
+	sq := SquareTorus(m)
+	torusAbs := func(d int) int {
+		d = ((d % m) + m) % m
+		if d > m/2 {
+			d = m - d
+		}
+		return d
+	}
+	f := func(a, b uint16) bool {
+		u := Node(int(a) % (m * m))
+		v := Node(int(b) % (m * m))
+		ur, uc := TorusCoords(m, u)
+		vr, vc := TorusCoords(m, v)
+		want := torusAbs(ur-vr) + torusAbs(uc-vc)
+		return sq.BFS(u)[v] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAndString(t *testing.T) {
+	q := Hypercube(3)
+	if q.Degree(5) != 3 {
+		t.Fatalf("Degree = %d", q.Degree(5))
+	}
+	if q.String() != "Q3 (8 nodes, 12 edges)" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestPanicsOnBadNodes(t *testing.T) {
+	g := New("g", 2)
+	for _, f := range []func(){
+		func() { g.AddEdge(0, 5) },
+		func() { g.AddEdge(-1, 0) },
+		func() { g.Neighbors(7) },
+		func() { g.Degree(-2) },
+		func() { New("neg", -1) },
+		func() { Cycle(2) },
+		func() { Complete(3).EdgeDisjointPaths(1, 1) },
+		func() { Complete(3).NodeDisjointPaths(2, 2) },
+		func() { Hypercube(31) },
+		func() { SquareTorus(2) },
+		func() { HexMesh(1) },
+		func() { TorusND() },
+		func() { TorusND(4, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTorusNDBasics(t *testing.T) {
+	g := TorusND(3, 4, 5)
+	if g.Name() != "T3x4x5" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	if g.N() != 60 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if d, ok := g.IsRegular(); !ok || d != 6 {
+		t.Fatalf("degree = %d, %v", d, ok)
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+	dims, ok := TorusDims(g.Name())
+	if !ok || len(dims) != 3 || dims[0] != 3 || dims[1] != 4 || dims[2] != 5 {
+		t.Fatalf("TorusDims = %v, %v", dims, ok)
+	}
+	// Non-torus names do not parse.
+	for _, bad := range []string{"Q4", "Tx", "T4x", ""} {
+		if _, ok := TorusDims(bad); ok {
+			t.Fatalf("parsed %q", bad)
+		}
+	}
+}
+
+func TestIsRegularIrregular(t *testing.T) {
+	g := New("irr", 3)
+	g.AddEdge(0, 1)
+	if _, ok := g.IsRegular(); ok {
+		t.Fatal("irregular graph reported regular")
+	}
+	empty := New("e", 0)
+	if d, ok := empty.IsRegular(); !ok || d != 0 {
+		t.Fatal("empty graph regularity")
+	}
+}

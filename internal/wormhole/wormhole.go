@@ -1,0 +1,322 @@
+// Package wormhole is a flit-level wormhole-routing model built to study
+// the one hazard the paper's main simulator abstracts away: deadlock.
+//
+// In wormhole routing a blocked packet is not buffered — it stays
+// stretched across the channels it occupies, so packets circulating a
+// ring can form a cyclic wait and deadlock. The paper (Section IV) notes
+// that the wormhole implementation of the IHC algorithm is safe if
+// (a) the network is dedicated to the broadcast — with η >= μ no packet
+// ever blocks, so the cycle of waits cannot form — or (b) Dally & Seitz's
+// virtual-channel method is used: each physical link carries multiple
+// virtual channels and a packet switches from the high to the low channel
+// class when it crosses its cycle's dateline, making the channel
+// dependency graph acyclic.
+//
+// The model is deliberately simple and fully deterministic: time advances
+// in unit steps (one flit transfer); each packet's head tries to acquire
+// the next channel (selected by the dateline rule), and its μ-flit body
+// occupies the last μ channels behind the head. A sweep in which no
+// packet moves while packets remain is a deadlock, and the blocked
+// wait-for cycle is reported.
+package wormhole
+
+import (
+	"fmt"
+	"sort"
+
+	"ihc/internal/topology"
+)
+
+// Channel identifies one virtual channel of one directed link.
+type Channel struct {
+	Link topology.Arc
+	VC   int
+}
+
+// Packet is one wormhole worm: a route, a length in flits, and an
+// injection time.
+type Packet struct {
+	ID     int
+	Route  []topology.Node // len >= 2
+	Flits  int             // body length μ >= 1
+	Inject int             // time step at which the header may first move
+	// Dateline is the position index in Route after which the packet
+	// switches from VC 1 to VC 0 (the Dally-Seitz rule). A negative
+	// value means the packet always uses VC 0 (single-channel network).
+	Dateline int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Deadlocked bool
+	// WaitCycle lists the packet IDs forming the cyclic wait when
+	// deadlocked (in discovery order).
+	WaitCycle []int
+	// Steps is the number of time steps simulated (to completion or
+	// deadlock).
+	Steps int
+	// MaxQueued is the peak number of simultaneously blocked packets.
+	MaxQueued int
+}
+
+// Network is a wormhole-routing instance.
+type Network struct {
+	g   *topology.Graph
+	vcs int
+}
+
+// New builds a wormhole network over g with the given number of virtual
+// channels per directed link (>= 1).
+func New(g *topology.Graph, vcs int) (*Network, error) {
+	if vcs < 1 {
+		return nil, fmt.Errorf("wormhole: need >= 1 virtual channel, got %d", vcs)
+	}
+	return &Network{g: g, vcs: vcs}, nil
+}
+
+// intent is one packet's desired action in a time step.
+type intent struct {
+	want     Channel  // channel the header wants (zero for drains)
+	drain    bool     // header at destination, draining body flits
+	releases *Channel // channel freed if this packet moves
+}
+
+type worm struct {
+	spec Packet
+	// pos is the index of the route hop the header occupies: the header
+	// has crossed link pos-1 (route[pos-1] -> route[pos]); -1 = not
+	// injected. done when pos == len(route)-1 and body drained.
+	pos int
+	// body holds the channels currently occupied, oldest first.
+	body []Channel
+	done bool
+}
+
+// vcFor returns the virtual channel class the packet must use for the
+// hop leaving route position i.
+func (w *worm) vcFor(i, vcs int) int {
+	if vcs == 1 || w.spec.Dateline < 0 {
+		return 0
+	}
+	if i > w.spec.Dateline {
+		return 0
+	}
+	return 1 % vcs
+}
+
+// Run simulates the packets to completion or deadlock.
+//
+// Advancement uses simultaneous (lockstep) semantics, the way wormhole
+// hardware pipelines flits: in each time step the set of movable packets
+// is computed as a fixpoint — a packet can move if its wanted channel is
+// free, or is being released this very step by another moving packet.
+// This is what lets an η = μ IHC pipeline flow around a ring with a
+// single virtual channel: every packet's advance releases the channel
+// the packet behind it needs.
+func (n *Network) Run(packets []Packet, maxSteps int) (*Result, error) {
+	worms := make([]*worm, len(packets))
+	for i, p := range packets {
+		if len(p.Route) < 2 {
+			return nil, fmt.Errorf("wormhole: packet %d has a %d-node route", p.ID, len(p.Route))
+		}
+		if p.Flits < 1 {
+			return nil, fmt.Errorf("wormhole: packet %d has %d flits", p.ID, p.Flits)
+		}
+		for h := 0; h+1 < len(p.Route); h++ {
+			if !n.g.HasEdge(p.Route[h], p.Route[h+1]) {
+				return nil, fmt.Errorf("wormhole: packet %d route hop %d is not a link", p.ID, h)
+			}
+		}
+		worms[i] = &worm{spec: p, pos: -1}
+	}
+	owner := make(map[Channel]int) // channel -> packet index holding it
+	res := &Result{}
+
+	for step := 0; ; step++ {
+		if step > maxSteps {
+			return nil, fmt.Errorf("wormhole: exceeded %d steps without completion or deadlock", maxSteps)
+		}
+		res.Steps = step
+
+		intents := make(map[int]intent)
+		allDone := true
+		pendingInject := false
+		for i, w := range worms {
+			if w.done {
+				continue
+			}
+			allDone = false
+			if step < w.spec.Inject {
+				pendingInject = true
+				continue
+			}
+			if w.pos == len(w.spec.Route)-1 {
+				// Header arrived: drain one body flit per step.
+				rel := w.body[0]
+				intents[i] = intent{drain: true, releases: &rel}
+				continue
+			}
+			from := 0
+			if w.pos >= 0 {
+				from = w.pos
+			}
+			want := Channel{
+				Link: topology.Arc{From: w.spec.Route[from], To: w.spec.Route[from+1]},
+				VC:   w.vcFor(from, n.vcs),
+			}
+			it := intent{want: want}
+			if len(w.body) == w.spec.Flits {
+				rel := w.body[0]
+				it.releases = &rel
+			}
+			intents[i] = it
+		}
+		if allDone {
+			return res, nil
+		}
+
+		// Movable set S: the *greatest* fixpoint — start from everyone
+		// and remove packets whose wanted channel is neither free nor
+		// released this step by a surviving mover. The greatest fixpoint
+		// (rather than growth from free seeds) is what admits the fully
+		// loaded η = μ ring rotating synchronously: every mover's want
+		// is released by the mover ahead of it, all the way around.
+		// Genuine deadlocks still shrink to nothing, because a worm with
+		// a non-full body releases no channel when it moves.
+		movable := map[int]bool{}
+		for i := range intents {
+			movable[i] = true
+		}
+		ids := make([]int, 0, len(intents))
+		for i := range intents {
+			ids = append(ids, i)
+		}
+		sort.Ints(ids)
+		for {
+			released := map[Channel]bool{}
+			for i, it := range intents {
+				if movable[i] && it.releases != nil {
+					released[*it.releases] = true
+				}
+			}
+			next := map[int]bool{}
+			claimed := map[Channel]int{}
+			for _, i := range ids {
+				if !movable[i] {
+					continue
+				}
+				it := intents[i]
+				if it.drain {
+					next[i] = true
+					continue
+				}
+				holder, busy := owner[it.want]
+				avail := !busy || (movable[holder] && released[it.want] && ownerReleases(intents, holder, it.want))
+				if !avail {
+					continue
+				}
+				if _, dup := claimed[it.want]; dup {
+					continue // a lower-id mover claimed this channel
+				}
+				claimed[it.want] = i
+				next[i] = true
+			}
+			if len(next) == len(movable) {
+				break
+			}
+			movable = next
+		}
+
+		if len(movable) == 0 {
+			if pendingInject {
+				continue // waiting for injections only
+			}
+			// Nothing can move and nothing will: find the wait cycle.
+			waitsOn := map[int]int{}
+			for i, it := range intents {
+				if it.drain {
+					continue
+				}
+				if holder, busy := owner[it.want]; busy {
+					waitsOn[i] = holder
+				}
+			}
+			res.Deadlocked = true
+			for _, i := range findCycle(waitsOn) {
+				res.WaitCycle = append(res.WaitCycle, worms[i].spec.ID)
+			}
+			return res, nil
+		}
+		blocked := 0
+		for i := range intents {
+			if !movable[i] {
+				blocked++
+			}
+		}
+		if blocked > res.MaxQueued {
+			res.MaxQueued = blocked
+		}
+
+		// Apply: releases first, then acquisitions.
+		for i := range movable {
+			it := intents[i]
+			w := worms[i]
+			if it.releases != nil {
+				delete(owner, *it.releases)
+				w.body = w.body[1:]
+			}
+			if it.drain {
+				if len(w.body) == 0 {
+					w.done = true
+				}
+			}
+		}
+		for i := range movable {
+			it := intents[i]
+			if it.drain {
+				continue
+			}
+			w := worms[i]
+			owner[it.want] = i
+			w.body = append(w.body, it.want)
+			if w.pos < 0 {
+				w.pos = 1
+			} else {
+				w.pos++
+			}
+		}
+	}
+}
+
+// ownerReleases reports whether the holder's move releases exactly ch.
+func ownerReleases(intents map[int]intent, holder int, ch Channel) bool {
+	it, ok := intents[holder]
+	return ok && it.releases != nil && *it.releases == ch
+}
+
+// findCycle returns a cycle in the wait-for graph, or nil.
+func findCycle(waitsOn map[int]int) []int {
+	keys := make([]int, 0, len(waitsOn))
+	for k := range waitsOn {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, start := range keys {
+		seen := map[int]int{} // node -> position in walk
+		walk := []int{}
+		cur := start
+		for {
+			if at, ok := seen[cur]; ok {
+				return walk[at:]
+			}
+			next, ok := waitsOn[cur]
+			if !ok {
+				break // chain ends at a movable packet
+			}
+			seen[cur] = len(walk)
+			walk = append(walk, cur)
+			cur = next
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package wormhole
+
+import (
+	"testing"
+
+	"ihc/internal/hamilton"
+	"ihc/internal/topology"
+)
+
+// ringPackets builds one packet per source (spaced eta apart) circling an
+// n-ring for n-1 hops, with the dateline rule applied relative to node 0.
+func ringPackets(n, eta, flits int, dateline bool) []Packet {
+	var out []Packet
+	id := 0
+	for s := 0; s < n; s += eta {
+		route := make([]topology.Node, n)
+		for i := range route {
+			route[i] = topology.Node((s + i) % n)
+		}
+		dl := -1
+		if dateline {
+			// Position index after which the packet has crossed node 0:
+			// node 0 is at position n-s (mod n) in this packet's route.
+			dl = (n - s) % n
+		}
+		out = append(out, Packet{ID: id, Route: route, Flits: flits, Dateline: dl})
+		id++
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(topology.Cycle(4), 0); err == nil {
+		t.Fatal("0 virtual channels accepted")
+	}
+	n, err := New(topology.Cycle(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Packet{
+		{ID: 0, Route: []topology.Node{0}, Flits: 1},
+	}
+	if _, err := n.Run(bad, 100); err == nil {
+		t.Fatal("short route accepted")
+	}
+	if _, err := n.Run([]Packet{{ID: 0, Route: []topology.Node{0, 1}, Flits: 0}}, 100); err == nil {
+		t.Fatal("0 flits accepted")
+	}
+	if _, err := n.Run([]Packet{{ID: 0, Route: []topology.Node{0, 2}, Flits: 1}}, 100); err == nil {
+		t.Fatal("non-adjacent route accepted")
+	}
+}
+
+func TestSinglePacketCompletes(t *testing.T) {
+	net, _ := New(topology.Cycle(8), 1)
+	res, err := net.Run(ringPackets(8, 8, 2, false), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("single packet deadlocked")
+	}
+	// 7 hops + 2 drain flits, pipelined: header advances one channel per
+	// step, tail drains after.
+	if res.Steps < 7 || res.Steps > 12 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+}
+
+// The IHC invariant carried to wormhole switching: with η = μ the ring
+// pipeline is self-synchronizing — every advance frees the channel the
+// packet behind needs — so even a single virtual channel never deadlocks.
+func TestEtaEqualsMuNeverDeadlocks(t *testing.T) {
+	for _, mu := range []int{1, 2, 4} {
+		net, _ := New(topology.Cycle(24), 1)
+		res, err := net.Run(ringPackets(24, mu, mu, false), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("η=μ=%d deadlocked (cycle %v)", mu, res.WaitCycle)
+		}
+	}
+}
+
+// Oversubscription (η < μ) with one virtual channel deadlocks: the worms
+// wrap the ring and form a cyclic wait — the hazard Dally & Seitz's
+// virtual channels exist to break.
+func TestOversubscribedRingDeadlocks(t *testing.T) {
+	net, _ := New(topology.Cycle(8), 1)
+	res, err := net.Run(ringPackets(8, 1, 2, false), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("η=1 < μ=2 ring did not deadlock on one virtual channel")
+	}
+	if len(res.WaitCycle) < 2 {
+		t.Fatalf("wait cycle %v too short", res.WaitCycle)
+	}
+}
+
+// The same oversubscribed ring with two virtual channels and the dateline
+// rule completes: packets that crossed node 0 switch to VC 0, so the
+// channel dependency graph is acyclic.
+func TestDatelineVirtualChannelsPreventDeadlock(t *testing.T) {
+	net, _ := New(topology.Cycle(8), 2)
+	res, err := net.Run(ringPackets(8, 1, 2, true), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatalf("dateline VCs deadlocked (cycle %v)", res.WaitCycle)
+	}
+	if res.MaxQueued == 0 {
+		t.Fatal("expected some blocking while packets serialized")
+	}
+}
+
+// Control: two VCs without the dateline rule still deadlock (everyone
+// stays on one class), showing it is the dateline switch, not the extra
+// buffering, that breaks the cycle.
+func TestTwoVCsWithoutDatelineStillDeadlock(t *testing.T) {
+	net, _ := New(topology.Cycle(8), 2)
+	res, err := net.Run(ringPackets(8, 1, 2, false), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("expected deadlock without the dateline rule")
+	}
+}
+
+// A full IHC wormhole broadcast on a class-Λ network: all γ directed
+// cycles at η = μ on one virtual channel, dedicated network — the paper's
+// "dedicated mode" wormhole claim.
+func TestIHCWormholeDedicated(t *testing.T) {
+	g := topology.SquareTorus(4)
+	cycles, err := hamilton.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := hamilton.DirectedCycles(cycles)
+	const mu = 2
+	var packets []Packet
+	id := 0
+	for _, c := range dir {
+		// Anchor at node 0 to define ID_j and the stage structure.
+		anchored := c.Rotated(c.Positions()[0])
+		for _, stage := range []int{0, 1} {
+			for pos := stage; pos < len(anchored); pos += mu {
+				route := make([]topology.Node, len(anchored))
+				for i := range route {
+					route[i] = anchored[(pos+i)%len(anchored)]
+				}
+				packets = append(packets, Packet{
+					ID:     id,
+					Route:  route,
+					Flits:  mu,
+					Inject: stage * (len(anchored) + mu) * 2, // stages well separated
+				})
+				id++
+			}
+		}
+	}
+	net, _ := New(g, 1)
+	res, err := net.Run(packets, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatalf("dedicated IHC wormhole deadlocked (cycle %v)", res.WaitCycle)
+	}
+	if res.MaxQueued != 0 {
+		t.Fatalf("dedicated IHC wormhole blocked %d packets", res.MaxQueued)
+	}
+}
