@@ -1,0 +1,26 @@
+# Stdlib-only Go module; every target needs nothing but the go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race vet bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The tier-1 gate: vet + build + tests, then the same tests under the
+# race detector (the parallel sweep executor must stay race-clean).
+verify: vet build test race

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	atasim -net Q6 -algo ihc -eta 2
+//	atasim -net Q6 -algo ihc -eta 2,4,8     # sweep η on the worker pool
 //	atasim -net SQ8 -algo vsq
 //	atasim -net Q6 -algo ihc -eta 2 -rho 0.5 -seed 7
 //	atasim -net H3 -algo ks -saturated
@@ -15,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ihc/internal/baseline/atarun"
 	"ihc/internal/baseline/frs"
@@ -33,7 +36,8 @@ func main() {
 	var (
 		net       = flag.String("net", "Q4", "network: Q<m>, SQ<m>, or H<m>")
 		algo      = flag.String("algo", "ihc", "algorithm: ihc, vrs, ks, vsq, frs")
-		eta       = flag.Int("eta", 2, "IHC interleaving distance η")
+		eta       = flag.String("eta", "2", "IHC interleaving distance η, or a comma-separated list to sweep")
+		workers   = flag.Int("workers", 0, "worker-pool width for η sweeps (0 = GOMAXPROCS, 1 = sequential)")
 		overlap   = flag.Bool("overlap", false, "IHC: overlap stages (modified algorithm)")
 		taus      = flag.Int64("taus", 100, "startup τ_S (ticks)")
 		alpha     = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
@@ -57,6 +61,10 @@ func main() {
 
 	switch *algo {
 	case "ihc":
+		etas, err := parseEtas(*eta)
+		if err != nil {
+			fail(err)
+		}
 		cycles, err := hamilton.Decompose(g)
 		if err != nil {
 			fail(err)
@@ -65,25 +73,72 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err := x.Run(core.Config{
-			Eta: *eta, Params: p, Overlap: *overlap, Saturated: *saturated,
-			SkipCopies: !*verify,
-		})
-		if err != nil {
-			fail(err)
+		// The IHC instance is read-only during Run (each call builds a
+		// fresh simnet.Network), so the η sweep points fan out across a
+		// bounded pool; results print in input order.
+		type out struct {
+			res *core.Result
+			err error
 		}
-		fmt.Printf("IHC on %s: η=%d γ=%d\n", g.Name(), *eta, x.Gamma())
-		fmt.Printf("finish:       %d ticks\n", res.Finish)
-		fmt.Printf("injections:   %d packets (γN)\n", res.Injections)
-		fmt.Printf("deliveries:   %d copies (γN(N-1))\n", res.Deliveries)
-		fmt.Printf("cut-throughs: %d   buffered: %d   stalls: %d\n", res.CutThroughs, res.BufferedHops, res.Stalls)
-		fmt.Printf("contentions:  %d   bg-blocked: %d\n", res.Contentions, res.BgBlocked)
-		fmt.Printf("utilization:  %.3f of link capacity\n", res.Utilization(2*g.M()))
-		if *verify && res.Copies != nil {
-			if err := res.Copies.VerifyATA(x.Gamma()); err != nil {
-				fail(fmt.Errorf("ATA postcondition violated: %w", err))
+		outs := make([]out, len(etas))
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > len(etas) {
+			w = len(etas)
+		}
+		runOne := func(i int) {
+			res, err := x.Run(core.Config{
+				Eta: etas[i], Params: p, Overlap: *overlap, Saturated: *saturated,
+				SkipCopies: !*verify,
+			})
+			outs[i] = out{res, err}
+		}
+		if w <= 1 {
+			for i := range etas {
+				runOne(i)
 			}
-			fmt.Printf("verified:     every node holds %d copies of every other node's message\n", x.Gamma())
+		} else {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for j := 0; j < w; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						runOne(i)
+					}
+				}()
+			}
+			for i := range etas {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		}
+		for i, o := range outs {
+			if o.err != nil {
+				fail(o.err)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			res := o.res
+			fmt.Printf("IHC on %s: η=%d γ=%d\n", g.Name(), etas[i], x.Gamma())
+			fmt.Printf("finish:       %d ticks\n", res.Finish)
+			fmt.Printf("injections:   %d packets (γN)\n", res.Injections)
+			fmt.Printf("deliveries:   %d copies (γN(N-1))\n", res.Deliveries)
+			fmt.Printf("cut-throughs: %d   buffered: %d   stalls: %d\n", res.CutThroughs, res.BufferedHops, res.Stalls)
+			fmt.Printf("contentions:  %d   bg-blocked: %d\n", res.Contentions, res.BgBlocked)
+			fmt.Printf("events:       %d simulator events\n", res.Events)
+			fmt.Printf("utilization:  %.3f of link capacity\n", res.Utilization(2*g.M()))
+			if *verify && res.Copies != nil {
+				if err := res.Copies.VerifyATA(x.Gamma()); err != nil {
+					fail(fmt.Errorf("ATA postcondition violated: %w", err))
+				}
+				fmt.Printf("verified:     every node holds %d copies of every other node's message\n", x.Gamma())
+			}
 		}
 
 	case "vrs", "ks", "vsq":
@@ -151,6 +206,20 @@ func runSerialized(algo string, g *topology.Graph, p simnet.Params, opts atarun.
 		res, err := vsq.ATA(m, p, opts)
 		return res, 4, err
 	}
+}
+
+// parseEtas parses the -eta flag: a single η or a comma-separated sweep.
+func parseEtas(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	etas := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -eta value %q (want positive integers, comma-separated)", part)
+		}
+		etas = append(etas, v)
+	}
+	return etas, nil
 }
 
 func hypercubeDim(g *topology.Graph) (int, bool) {

@@ -7,13 +7,20 @@
 //	ihcbench -quick           # small networks (seconds)
 //	ihcbench -run table2      # one experiment by id
 //	ihcbench -list            # list experiment ids
+//	ihcbench -workers 8       # worker-pool width (0 = GOMAXPROCS)
 //	ihcbench -taus 100 -alpha 20 -mu 2 -d 37   # timing overrides
+//
+// Experiments — and the independent sweep points inside them — fan out
+// across a bounded worker pool; results are merged in the registry's
+// stable order, so stdout is byte-identical for every -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"ihc/internal/harness"
 	"ihc/internal/simnet"
@@ -21,13 +28,14 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "use small network sizes")
-		run   = flag.String("run", "", "run a single experiment id (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		taus  = flag.Int64("taus", 100, "message startup time τ_S (ticks)")
-		alpha = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
-		mu    = flag.Int("mu", 2, "packet length μ (FIFO-buffer units)")
-		d     = flag.Int64("d", 37, "queueing delay D (ticks)")
+		quick   = flag.Bool("quick", false, "use small network sizes")
+		run     = flag.String("run", "", "run a single experiment id (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = flag.Int("workers", 0, "worker-pool width for experiments and sweep points (0 = GOMAXPROCS, 1 = sequential)")
+		taus    = flag.Int64("taus", 100, "message startup time τ_S (ticks)")
+		alpha   = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
+		mu      = flag.Int("mu", 2, "packet length μ (FIFO-buffer units)")
+		d       = flag.Int64("d", 37, "queueing delay D (ticks)")
 	)
 	flag.Parse()
 
@@ -38,6 +46,7 @@ func main() {
 		return
 	}
 
+	stats := &harness.RunStats{}
 	cfg := harness.Config{
 		Quick: *quick,
 		Params: simnet.Params{
@@ -46,6 +55,8 @@ func main() {
 			Mu:    *mu,
 			D:     simnet.Time(*d),
 		},
+		Workers: *workers,
+		Stats:   stats,
 	}
 
 	exps := harness.All()
@@ -58,20 +69,30 @@ func main() {
 		exps = []harness.Experiment{e}
 	}
 
+	start := time.Now()
+	reports := harness.RunExperiments(exps, cfg)
+	elapsed := time.Since(start)
+
 	failures := 0
-	for _, e := range exps {
-		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Paper, e.Title)
-		tables, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAILED %s: %v\n\n", e.ID, err)
+	for _, r := range reports {
+		fmt.Printf("=== %s (%s): %s ===\n", r.ID, r.Paper, r.Title)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "FAILED %s: %v\n\n", r.ID, r.Err)
 			failures++
 			continue
 		}
-		for _, t := range tables {
+		for _, t := range r.Tables {
 			t.Render(os.Stdout)
 			fmt.Println()
 		}
 	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "%s; %v elapsed on %d worker(s)\n",
+		stats.Summary(), elapsed.Round(time.Millisecond), w)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
 		os.Exit(1)

@@ -33,6 +33,7 @@ type Result struct {
 	BufferedHops    int
 	Injections      int
 	Deliveries      int
+	Events          int
 	LinkBusy        simnet.Time
 	Copies          *simnet.CopyMatrix
 }
@@ -63,6 +64,7 @@ func Sequential(g *topology.Graph, p simnet.Params, gen Generator, opts Options)
 		res.BufferedHops += r.BufferedHops
 		res.Injections += r.Injections
 		res.Deliveries += r.Deliveries
+		res.Events += r.Events
 		res.LinkBusy += r.LinkBusy
 		if res.Copies != nil && r.Copies != nil {
 			res.Copies.Merge(r.Copies)

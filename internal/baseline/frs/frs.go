@@ -165,6 +165,7 @@ type Result struct {
 	Finish      simnet.Time
 	Contentions int
 	Injections  int
+	Events      int
 	LinkBusy    simnet.Time
 	Copies      *simnet.CopyMatrix // from the content model
 }
@@ -187,6 +188,7 @@ func Run(m int, p simnet.Params, copies bool) (*Result, error) {
 		Finish:      r.Finish,
 		Contentions: r.Contentions,
 		Injections:  r.Injections,
+		Events:      r.Events,
 		LinkBusy:    r.LinkBusy,
 	}
 	if copies {

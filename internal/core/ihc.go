@@ -90,16 +90,41 @@ func (x *IHC) DirectedCycle(j int) hamilton.Cycle { return x.directed[j] }
 // ID returns ID_j(v): the distance from N0 to v along directed cycle j.
 func (x *IHC) ID(j int, v topology.Node) int { return x.pos[j][v] }
 
+// checkEta rejects interleaving distances outside [1, N] with a
+// descriptive error instead of letting `mod η` panic with a bare
+// integer-divide error deep in a scheduling loop.
+func (x *IHC) checkEta(eta int) error {
+	if eta < 1 || eta > x.N() {
+		return fmt.Errorf("core: interleaving distance η = %d out of range [1,%d] on %s", eta, x.N(), x.g.Name())
+	}
+	return nil
+}
+
+// checkCycle rejects directed-cycle indices outside [0, γ).
+func (x *IHC) checkCycle(j int) error {
+	if j < 0 || j >= x.Gamma() {
+		return fmt.Errorf("core: cycle index %d out of range [0,%d) on %s", j, x.Gamma(), x.g.Name())
+	}
+	return nil
+}
+
 // InitiationPattern returns, for directed cycle j and interleaving
 // distance η, the stage in which each node initiates its packet, indexed
 // by position along the cycle — the paper's Fig. 6 pattern
-// (0,1,...,η-1,0,1,... around the cycle).
-func (x *IHC) InitiationPattern(j, eta int) []int {
+// (0,1,...,η-1,0,1,... around the cycle). η must be in [1, N] and j in
+// [0, γ).
+func (x *IHC) InitiationPattern(j, eta int) ([]int, error) {
+	if err := x.checkCycle(j); err != nil {
+		return nil, err
+	}
+	if err := x.checkEta(eta); err != nil {
+		return nil, err
+	}
 	out := make([]int, x.N())
 	for i := range out {
 		out[i] = i % eta
 	}
-	return out
+	return out, nil
 }
 
 // route returns the N-node route of the packet that node at position p of
@@ -111,13 +136,23 @@ func (x *IHC) route(j, p int) []topology.Node {
 
 // StagePackets returns the packets initiated in stage i with interleaving
 // distance η on the given directed cycles (nil means all), injected at t0
-// plus any per-node skew.
-func (x *IHC) StagePackets(cycles []int, stage, eta int, t0 simnet.Time, skew SkewFunc) []simnet.PacketSpec {
+// plus any per-node skew. η must be in [1, N], the stage in [0, η), and
+// every cycle index in [0, γ).
+func (x *IHC) StagePackets(cycles []int, stage, eta int, t0 simnet.Time, skew SkewFunc) ([]simnet.PacketSpec, error) {
+	if err := x.checkEta(eta); err != nil {
+		return nil, err
+	}
+	if stage < 0 || stage >= eta {
+		return nil, fmt.Errorf("core: stage %d out of range [0,%d) for η = %d", stage, eta, eta)
+	}
 	if cycles == nil {
 		cycles = allCycles(x.Gamma())
 	}
 	var specs []simnet.PacketSpec
 	for _, j := range cycles {
+		if err := x.checkCycle(j); err != nil {
+			return nil, err
+		}
 		c := x.directed[j]
 		for p := stage; p < len(c); p += eta {
 			inject := t0
@@ -132,7 +167,7 @@ func (x *IHC) StagePackets(cycles []int, stage, eta int, t0 simnet.Time, skew Sk
 			})
 		}
 	}
-	return specs
+	return specs, nil
 }
 
 func allCycles(gamma int) []int {
@@ -190,6 +225,7 @@ type Result struct {
 	Stalls       int
 	Injections   int
 	Deliveries   int
+	Events       int // simulator events processed across all stage runs
 	LinkBusy     simnet.Time
 	Copies       *simnet.CopyMatrix // nil when SkipCopies
 }
@@ -214,6 +250,7 @@ func (r *Result) absorb(s *simnet.Result) {
 	r.Stalls += s.Stalls
 	r.Injections += s.Injections
 	r.Deliveries += s.Deliveries
+	r.Events += s.Events
 	r.LinkBusy += s.LinkBusy
 	if r.Copies != nil && s.Copies != nil {
 		r.Copies.Merge(s.Copies)
@@ -221,15 +258,15 @@ func (r *Result) absorb(s *simnet.Result) {
 }
 
 func (x *IHC) validate(cfg *Config) error {
-	if cfg.Eta < 1 || cfg.Eta > x.N() {
-		return fmt.Errorf("core: η = %d out of range [1,%d]", cfg.Eta, x.N())
+	if err := x.checkEta(cfg.Eta); err != nil {
+		return err
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return err
 	}
 	for _, j := range cfg.Cycles {
-		if j < 0 || j >= x.Gamma() {
-			return fmt.Errorf("core: cycle index %d out of range [0,%d)", j, x.Gamma())
+		if err := x.checkCycle(j); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -268,7 +305,11 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 		for _, j := range cycles {
 			start := cfg.Start
 			for _, i := range stages {
-				r, err := net.Run(x.StagePackets([]int{j}, i, cfg.Eta, start, cfg.Skew), opts)
+				specs, err := x.StagePackets([]int{j}, i, cfg.Eta, start, cfg.Skew)
+				if err != nil {
+					return nil, err
+				}
+				r, err := net.Run(specs, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -282,7 +323,11 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 
 	start := cfg.Start
 	for _, i := range stages {
-		r, err := net.Run(x.StagePackets(cycles, i, cfg.Eta, start, cfg.Skew), opts)
+		specs, err := x.StagePackets(cycles, i, cfg.Eta, start, cfg.Skew)
+		if err != nil {
+			return nil, err
+		}
+		r, err := net.Run(specs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -294,8 +339,12 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 }
 
 // stageOrder returns 0..η-1, or reversed when overlapping (the paper's
-// modified IHC iterates the outer loop from η-1 down to 0).
+// modified IHC iterates the outer loop from η-1 down to 0). η < 1 yields
+// no stages; callers validate η before scheduling.
 func stageOrder(eta int, overlap bool) []int {
+	if eta < 1 {
+		return nil
+	}
 	out := make([]int, eta)
 	for i := range out {
 		if overlap {
@@ -337,6 +386,7 @@ func (x *IHC) RunSequential(cfg Config, k int) (*Result, error) {
 		res.Stalls += r.Stalls
 		res.Injections += r.Injections
 		res.Deliveries += r.Deliveries
+		res.Events += r.Events
 		res.LinkBusy += r.LinkBusy
 		if res.Copies != nil && r.Copies != nil {
 			res.Copies.Merge(r.Copies)
@@ -364,7 +414,11 @@ func (x *IHC) StaticSchedule(cfg Config) ([]simnet.PacketSpec, []simnet.Time, er
 	start := cfg.Start
 	for _, i := range stageOrder(cfg.Eta, cfg.Overlap) {
 		starts = append(starts, start)
-		specs = append(specs, x.StagePackets(cfg.Cycles, i, cfg.Eta, start, cfg.Skew)...)
+		stage, err := x.StagePackets(cfg.Cycles, i, cfg.Eta, start, cfg.Skew)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs = append(specs, stage...)
 		start += step
 	}
 	return specs, starts, nil
@@ -372,8 +426,18 @@ func (x *IHC) StaticSchedule(cfg Config) ([]simnet.PacketSpec, []simnet.Time, er
 
 // VerifyContentionFree statically checks the IHC invariant for the given
 // configuration: with ideal cut-through timing, no two packets of the
-// schedule ever occupy the same directed link at the same time.
+// schedule ever occupy the same directed link at the same time. A
+// configuration with η < μ violates the paper's contention-freedom
+// precondition outright and is reported as such before any interval
+// analysis runs.
 func (x *IHC) VerifyContentionFree(cfg Config) error {
+	if err := x.validate(&cfg); err != nil {
+		return err
+	}
+	if cfg.Eta < cfg.Params.Mu {
+		return fmt.Errorf("core: η = %d < μ = %d: contention-free operation requires interleaving distance η >= packet length μ",
+			cfg.Eta, cfg.Params.Mu)
+	}
 	specs, _, err := x.StaticSchedule(cfg)
 	if err != nil {
 		return err

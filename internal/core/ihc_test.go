@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -73,7 +74,10 @@ func TestIDAndPattern(t *testing.T) {
 			}
 		}
 	}
-	pat := x.InitiationPattern(0, 3)
+	pat, err := x.InitiationPattern(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, s := range pat {
 		if s != i%3 {
 			t.Fatalf("pattern[%d] = %d", i, s)
@@ -81,9 +85,77 @@ func TestIDAndPattern(t *testing.T) {
 	}
 }
 
+// The η guards: before the fix, InitiationPattern and StagePackets
+// divided/modded by η unchecked, so η = 0 panicked with an integer divide
+// and η < 0 silently produced an empty schedule that "verified" as
+// contention-free.
+func TestEtaValidation(t *testing.T) {
+	x := mustIHC(t, topology.Hypercube(4))
+	for _, tc := range []struct {
+		eta  int
+		ok   bool
+		name string
+	}{
+		{0, false, "zero"},
+		{-1, false, "negative"},
+		{17, false, "beyond N"},
+		{1, true, "minimum"},
+		{2, true, "eta equals mu"},
+		{16, true, "maximum N"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, patErr := x.InitiationPattern(0, tc.eta)
+			_, spErr := x.StagePackets(nil, 0, tc.eta, 0, nil)
+			_, runErr := x.Run(Config{Eta: tc.eta, Params: params(2), SkipCopies: true})
+			if tc.ok {
+				if patErr != nil || spErr != nil || runErr != nil {
+					t.Fatalf("η=%d rejected: %v / %v / %v", tc.eta, patErr, spErr, runErr)
+				}
+				return
+			}
+			if patErr == nil {
+				t.Errorf("InitiationPattern accepted η=%d", tc.eta)
+			}
+			if spErr == nil {
+				t.Errorf("StagePackets accepted η=%d", tc.eta)
+			}
+			if runErr == nil {
+				t.Errorf("Run accepted η=%d", tc.eta)
+			}
+		})
+	}
+	if _, err := x.StagePackets(nil, 2, 2, 0, nil); err == nil {
+		t.Error("stage = η accepted")
+	}
+	if _, err := x.StagePackets(nil, -1, 2, 0, nil); err == nil {
+		t.Error("negative stage accepted")
+	}
+	if _, err := x.StagePackets([]int{7}, 0, 2, 0, nil); err == nil {
+		t.Error("out-of-range cycle index accepted")
+	}
+	if _, err := x.InitiationPattern(4, 2); err == nil {
+		t.Error("out-of-range cycle index accepted by InitiationPattern")
+	}
+	if stageOrder(0, false) != nil || stageOrder(-3, true) != nil {
+		t.Error("stageOrder built a schedule for η < 1")
+	}
+	// Contention-freedom requires η >= μ; the checker must say so rather
+	// than run the schedule.
+	err := x.VerifyContentionFree(Config{Eta: 1, Params: params(2)})
+	if err == nil || !strings.Contains(err.Error(), "η >= packet length μ") {
+		t.Errorf("VerifyContentionFree(η<μ) = %v", err)
+	}
+	if err := x.VerifyContentionFree(Config{Eta: 2, Params: params(2)}); err != nil {
+		t.Errorf("VerifyContentionFree(η=μ) = %v", err)
+	}
+}
+
 func TestStagePacketsStructure(t *testing.T) {
 	x := mustIHC(t, topology.SquareTorus(4))
-	specs := x.StagePackets(nil, 1, 2, 50, nil)
+	specs, err := x.StagePackets(nil, 1, 2, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 4 directed cycles x 8 sources (positions 1,3,...,15).
 	if len(specs) != 4*8 {
 		t.Fatalf("got %d packets", len(specs))

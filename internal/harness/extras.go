@@ -47,7 +47,8 @@ func runTheorem4(cfg Config) ([]*tablefmt.Table, error) {
 	}
 	t := tablefmt.New("Theorem 4 — IHC with η=μ=1 meets the lower bound τ_S+(N-1)α exactly",
 		"Network", "N", "Lower bound", "Measured", "Match")
-	for _, g := range graphs {
+	rows, err := sweep(cfg, len(graphs), func(i int) (row, error) {
+		g := graphs[i]
 		x, err := newIHC(g)
 		if err != nil {
 			return nil, err
@@ -56,11 +57,18 @@ func runTheorem4(cfg Config) ([]*tablefmt.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.addEvents(res.Events)
 		bound := model.OptimalATATime(mp, g.N())
-		t.Addf(g.Name(), g.N(), bound, res.Finish, match(res.Finish, bound))
 		if res.Finish != bound {
 			return nil, fmt.Errorf("theorem4: %s measured %d != bound %d", g.Name(), res.Finish, bound)
 		}
+		return row{g.Name(), g.N(), bound, res.Finish, match(res.Finish, bound)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	t.Note("the bound: γN(N-1) packets spread over N nodes' γ links each carrying N-1 packets of α")
 	return []*tablefmt.Table{t}, nil
@@ -81,7 +89,9 @@ func runOverlap(cfg Config) ([]*tablefmt.Table, error) {
 	t := tablefmt.New(fmt.Sprintf("Modified IHC on %s — overlapped stages (η=μ)", g.Name()),
 		"μ=η", "Plain", "Overlapped", "Saving", "(μ-1)²α", "Contentions")
 	p := cfg.params()
-	for _, mu := range []int{1, 2, 4} {
+	mus := []int{1, 2, 4}
+	rows, err := sweep(cfg, len(mus), func(i int) (row, error) {
+		mu := mus[i]
 		pm := p
 		pm.Mu = mu
 		plain, err := x.Run(core.Config{Eta: mu, Params: pm, SkipCopies: true})
@@ -92,11 +102,18 @@ func runOverlap(cfg Config) ([]*tablefmt.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.addEvents(plain.Events + over.Events)
 		want := simnet.Time((mu-1)*(mu-1)) * pm.Alpha
-		t.Addf(mu, plain.Finish, over.Finish, plain.Finish-over.Finish, want, over.Contentions)
 		if plain.Finish-over.Finish != want || over.Contentions != 0 {
 			return nil, fmt.Errorf("overlap: μ=%d saving %d != %d or contended", mu, plain.Finish-over.Finish, want)
 		}
+		return row{mu, plain.Finish, over.Finish, plain.Finish - over.Finish, want, over.Contentions}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	return []*tablefmt.Table{t}, nil
 }
@@ -216,16 +233,34 @@ func runReliability(cfg Config) ([]*tablefmt.Table, error) {
 			g.Name(), trials),
 		"Faults t", "Kind", "Unsigned", "Signed", "Bounds")
 	bounds := fmt.Sprintf("Dolev %d / signed %d", reliable.DolevBound(gamma, g.N()), reliable.SignedBound(gamma))
+	type cell struct {
+		kind    fault.Kind
+		tFaults int
+	}
+	var cells []cell
 	for _, kind := range []fault.Kind{fault.Crash, fault.Corrupt, fault.Byzantine} {
 		for _, tFaults := range []int{1, 2, gamma - 1, gamma + 1} {
-			var su, ss float64
-			for seed := int64(0); seed < trials; seed++ {
-				plan := fault.RandomNodeFaults(g.N(), tFaults, kind, seed*31+int64(tFaults))
-				su += reliable.EvaluateIHC(x, plan, false, nil).CorrectFraction()
-				ss += reliable.EvaluateIHC(x, plan, true, kr).CorrectFraction()
-			}
-			t.Addf(tFaults, kind.String(), su/float64(trials), ss/float64(trials), bounds)
+			cells = append(cells, cell{kind, tFaults})
 		}
+	}
+	// Each (kind, fault-count) cell averages over its own deterministic
+	// fault placements and reads the shared IHC instance and keyring
+	// read-only, so the cells fan out across the pool independently.
+	rows, err := sweep(cfg, len(cells), func(i int) (row, error) {
+		c := cells[i]
+		var su, ss float64
+		for seed := int64(0); seed < trials; seed++ {
+			plan := fault.RandomNodeFaults(g.N(), c.tFaults, c.kind, seed*31+int64(c.tFaults))
+			su += reliable.EvaluateIHC(x, plan, false, nil).CorrectFraction()
+			ss += reliable.EvaluateIHC(x, plan, true, kr).CorrectFraction()
+		}
+		return row{c.tFaults, c.kind.String(), su / float64(trials), ss / float64(trials), bounds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	t.Note("a single fault is always tolerated (it blocks one direction of one HC per cycle pair);")
 	t.Note("signed voting never decides wrongly — it only loses pairs whose every cycle path is cut")
@@ -250,7 +285,9 @@ func runLoad(cfg Config) ([]*tablefmt.Table, error) {
 	worst := model.IHCWorst(mp, g.N(), eta)
 	t := tablefmt.New(fmt.Sprintf("IHC on %s under background load (η=μ=%d)", g.Name(), eta),
 		"ρ", "Measured", "vs best", "Cut-throughs kept", "BgBlocked hops")
-	for _, rho := range []float64{0, 0.2, 0.5, 0.8} {
+	rhos := []float64{0, 0.2, 0.5, 0.8}
+	rows, err := sweep(cfg, len(rhos), func(i int) (row, error) {
+		rho := rhos[i]
 		pr := p
 		pr.Rho = rho
 		pr.Seed = 4242
@@ -258,12 +295,19 @@ func runLoad(cfg Config) ([]*tablefmt.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		total := x.Gamma() * g.N() * (g.N() - 2)
-		t.Addf(fmt.Sprintf("%.1f", rho), res.Finish, ratio(res.Finish, best),
-			fmt.Sprintf("%.1f%%", 100*float64(res.CutThroughs)/float64(total)), res.BgBlocked)
+		cfg.addEvents(res.Events)
 		if rho == 0 && res.Finish != best {
 			return nil, fmt.Errorf("load: ρ=0 measured %d != best %d", res.Finish, best)
 		}
+		total := x.Gamma() * g.N() * (g.N() - 2)
+		return row{fmt.Sprintf("%.1f", rho), res.Finish, ratio(res.Finish, best),
+			fmt.Sprintf("%.1f%%", 100*float64(res.CutThroughs)/float64(total)), res.BgBlocked}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	t.Addf("(best)", best, "1.0x", "100%", 0)
 	t.Addf("(worst bound)", worst, ratio(worst, best), "0%", "-")
@@ -287,18 +331,27 @@ func runUtilization(cfg Config) ([]*tablefmt.Table, error) {
 	t := tablefmt.New(fmt.Sprintf("Link utilization of the IHC broadcast on %s (μ=%d)", g.Name(), p.Mu),
 		"η", "Measured utilization", "μ/η", "Static peak concurrency", "Time")
 	links := 2 * g.M()
-	for _, eta := range []int{2, 4, 8, 16} {
+	etas := []int{2, 4, 8, 16}
+	rows, err := sweep(cfg, len(etas), func(i int) (row, error) {
+		eta := etas[i]
 		res, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true})
 		if err != nil {
 			return nil, err
 		}
+		cfg.addEvents(res.Events)
 		specs, _, err := x.StaticSchedule(core.Config{Eta: eta, Params: p})
 		if err != nil {
 			return nil, err
 		}
 		ivs := sched.IdealIntervals(p, specs)
-		t.Addf(eta, fmt.Sprintf("%.3f", res.Utilization(links)), fmt.Sprintf("%.3f", float64(p.Mu)/float64(eta)),
-			sched.MaxConcurrency(ivs), res.Finish)
+		return row{eta, fmt.Sprintf("%.3f", res.Utilization(links)), fmt.Sprintf("%.3f", float64(p.Mu)/float64(eta)),
+			sched.MaxConcurrency(ivs), res.Finish}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	t.Note("utilization tracks μ/η (the steady-state fraction each link is held by broadcast packets);")
 	t.Note("doubling η halves the load on normal traffic at the cost of doubling broadcast time")

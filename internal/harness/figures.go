@@ -97,24 +97,30 @@ func runFig3(cfg Config) ([]*tablefmt.Table, error) {
 	if !cfg.Quick {
 		dims = append(dims, 8, 10)
 	}
+	dims = append(dims, 3, 5, 7)
 	sum := tablefmt.New("Theorem 1/2 — constructed hypercube decompositions (all verified)",
 		"Cube", "N", "HCs", "Covers all edges")
-	for _, m := range dims {
+	// Each dimension's construction and verification is independent (the
+	// larger even cubes dominate the cost), so they share the pool.
+	rows, err := sweep(cfg, len(dims), func(i int) (row, error) {
+		m := dims[i]
 		cycles, err := hamilton.Hypercube(m)
 		if err != nil {
 			return nil, err
 		}
-		if err := hamilton.VerifyDecomposition(topology.Hypercube(m), cycles, m%2 == 0); err != nil {
+		if m%2 != 0 {
+			return row{fmt.Sprintf("Q%d", m), 1 << m, len(cycles), "no (perfect matching left)"}, nil
+		}
+		if err := hamilton.VerifyDecomposition(topology.Hypercube(m), cycles, true); err != nil {
 			return nil, err
 		}
-		sum.Addf(fmt.Sprintf("Q%d", m), 1<<m, len(cycles), m%2 == 0)
+		return row{fmt.Sprintf("Q%d", m), 1 << m, len(cycles), true}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, m := range []int{3, 5, 7} {
-		cycles, err := hamilton.Hypercube(m)
-		if err != nil {
-			return nil, err
-		}
-		sum.Addf(fmt.Sprintf("Q%d", m), 1<<m, len(cycles), "no (perfect matching left)")
+	for _, r := range rows {
+		sum.Addf(r...)
 	}
 	out = append(out, sum)
 	return out, nil
@@ -152,7 +158,10 @@ func runFig6(cfg Config) ([]*tablefmt.Table, error) {
 		return nil, err
 	}
 	const eta = 3
-	pattern := x.InitiationPattern(0, eta)
+	pattern, err := x.InitiationPattern(0, eta)
+	if err != nil {
+		return nil, err
+	}
 	c := x.DirectedCycle(0)
 	t := tablefmt.New("Fig. 6 — nodes initiating packets in one directed HC (η=3)",
 		"Position (ID_j)", "Node", "Initiates in stage")
@@ -207,10 +216,17 @@ func runFig8(cfg Config) ([]*tablefmt.Table, error) {
 	}
 	t := tablefmt.New("Fig. 8 — KS pattern per-path profile vs paper (3 s&f + 2m-5 cut-throughs)",
 		"H_m", "N", "Max chain depth (s&f)", "Paper s&f", "Max hops", "Paper hops (2m-2)")
-	for _, m := range sizes {
+	rows, err := sweep(cfg, len(sizes), func(i int) (row, error) {
+		m := sizes[i]
 		b := ks.New(m, 0)
 		depth, hops := chainProfileKS(b)
-		t.Addf(fmt.Sprintf("H%d", m), b.N, depth, 3, hops, 2*m-2)
+		return row{fmt.Sprintf("H%d", m), b.N, depth, 3, hops, 2*m - 2}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	t.Note("reconstruction: the original pattern exists only as a figure; ours keeps the Θ(1) s&f and")
 	t.Note("Θ(√N) cut-through shape that Table II's KS-ATA row relies on")
@@ -245,7 +261,8 @@ func runFig9(cfg Config) ([]*tablefmt.Table, error) {
 	}
 	t := tablefmt.New("Fig. 9 — VSQ pattern per-path profile vs paper (3 s&f + 2√N-6 cut-throughs)",
 		"SQ_m", "N", "Max chain depth (s&f)", "Paper s&f", "Max hops", "Paper hops (2m-3)")
-	for _, m := range sizes {
+	rows, err := sweep(cfg, len(sizes), func(i int) (row, error) {
+		m := sizes[i]
 		b := vsq.New(m, 0)
 		maxDepth := 0
 		for _, ch := range b.Chains {
@@ -265,7 +282,13 @@ func runFig9(cfg Config) ([]*tablefmt.Table, error) {
 				}
 			}
 		}
-		t.Addf(fmt.Sprintf("SQ%d", m), m*m, maxDepth, 3, maxHops, 2*m-3)
+		return row{fmt.Sprintf("SQ%d", m), m * m, maxDepth, 3, maxHops, 2*m - 3}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
 	}
 	t.Note("our explicit comb uses one fewer s&f on the tooth paths and one extra hop on the wrap leg")
 	return []*tablefmt.Table{t}, nil

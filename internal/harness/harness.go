@@ -22,19 +22,23 @@ type Config struct {
 	// (used by tests); the default exercises the largest practical
 	// sizes.
 	Quick bool
-	// Params are the timing parameters; zero value selects defaults
-	// (τ_S=100, α=20, μ=2, D=37 ticks).
+	// Params are the timing parameters; the zero value selects the
+	// defaults (τ_S=100, α=20, μ=2, D=37 ticks). A partially set Params
+	// keeps every field given and defaults only α and μ, whose zero
+	// values are invalid — see simnet.Params.Defaulted.
 	Params simnet.Params
+	// Workers bounds the pool that fans independent experiment runs and
+	// sweep points across goroutines, each on a fresh simnet.Network.
+	// 0 selects GOMAXPROCS; 1 forces sequential execution. Results are
+	// merged in stable order, so output is identical for every value.
+	Workers int
+	// Stats, when non-nil, accumulates per-run wall-clock and simulator
+	// event counters (atomically) across all concurrent runs.
+	Stats *RunStats
 }
 
 // params returns the effective timing parameters.
-func (c Config) params() simnet.Params {
-	p := c.Params
-	if p.Alpha == 0 {
-		p = simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
-	}
-	return p
-}
+func (c Config) params() simnet.Params { return c.Params.Defaulted() }
 
 func (c Config) modelParams() model.Params {
 	p := c.params()

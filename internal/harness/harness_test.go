@@ -68,6 +68,23 @@ func TestConfigDefaults(t *testing.T) {
 	if custom.params().TauS != 7 {
 		t.Fatalf("custom params ignored")
 	}
+	// A partially set Params keeps every given field; only the fields
+	// whose zero value is invalid (α, μ) fall back to defaults. The seed
+	// bug replaced the whole struct with defaults whenever Alpha was 0.
+	partial := Config{Params: simnet.Params{TauS: 7}}.params()
+	if partial.TauS != 7 {
+		t.Fatalf("partial params: TauS = %d, want 7 kept", partial.TauS)
+	}
+	if partial.Alpha != 20 || partial.Mu != 2 {
+		t.Fatalf("partial params: Alpha/Mu = %d/%d, want defaults 20/2", partial.Alpha, partial.Mu)
+	}
+	if partial.D != 0 {
+		t.Fatalf("partial params: D = %d, want explicit 0 kept", partial.D)
+	}
+	noAlpha := Config{Params: simnet.Params{TauS: 50, Mu: 3, D: 11}}.params()
+	if noAlpha.TauS != 50 || noAlpha.Mu != 3 || noAlpha.D != 11 || noAlpha.Alpha != 20 {
+		t.Fatalf("partial params without alpha = %+v", noAlpha)
+	}
 	mp := cfg.modelParams()
 	if mp.TauS != 100 || mp.Alpha != 20 {
 		t.Fatalf("model params = %+v", mp)

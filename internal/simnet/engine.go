@@ -80,9 +80,9 @@ type runState struct {
 	queue    eventQueue
 	seq      int64
 	res      *Result
-	children map[int][]int32 // parent spec index -> dependent spec indices
-	pending  []int32         // per spec: unmet dependency count
-	ready    []Time          // per spec: latest parent delivery at Route[0]
+	children map[int][]int32      // parent spec index -> dependent spec indices
+	unmet    []map[int32]struct{} // per spec: parents that have not yet delivered at Route[0]
+	ready    []Time               // per spec: latest parent delivery at Route[0]
 	started  []bool
 }
 
@@ -91,6 +91,11 @@ type runState struct {
 // phase) persists across calls on the same Network, so staged algorithms
 // can chain Runs; use a fresh Network for independent experiments.
 func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
+	// arcStamp detects a route traversing the same directed link twice:
+	// such a packet would contend with itself and the schedule is
+	// malformed. Stamped with spec index + 1 so one allocation serves
+	// every spec.
+	arcStamp := make([]int32, len(n.arcIdx))
 	for i, s := range specs {
 		if len(s.Route) < 2 {
 			return nil, fmt.Errorf("simnet: packet %d (%v) has route of %d nodes", i, s.ID, len(s.Route))
@@ -99,9 +104,16 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("simnet: packet %d (%v) has negative inject time", i, s.ID)
 		}
 		for h := 0; h+1 < len(s.Route); h++ {
-			if !n.g.HasEdge(s.Route[h], s.Route[h+1]) {
+			a := topology.Arc{From: s.Route[h], To: s.Route[h+1]}
+			if !n.g.HasEdge(a.From, a.To) {
 				return nil, fmt.Errorf("simnet: packet %d (%v) route step %d: {%d,%d} not an edge of %s",
-					i, s.ID, h, s.Route[h], s.Route[h+1], n.g.Name())
+					i, s.ID, h, a.From, a.To, n.g.Name())
+			}
+			if idx := n.arcIdx[a]; arcStamp[idx] == int32(i)+1 {
+				return nil, fmt.Errorf("simnet: packet %d (%v) route uses directed link %d→%d twice",
+					i, s.ID, a.From, a.To)
+			} else {
+				arcStamp[idx] = int32(i) + 1
 			}
 		}
 	}
@@ -111,18 +123,29 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 		opts:     opts,
 		res:      &Result{},
 		children: make(map[int][]int32),
-		pending:  make([]int32, len(specs)),
+		unmet:    make([]map[int32]struct{}, len(specs)),
 		ready:    make([]Time, len(specs)),
 		started:  make([]bool, len(specs)),
 	}
 	for i, s := range specs {
+		if len(s.After) == 0 {
+			continue
+		}
+		set := make(map[int32]struct{}, len(s.After))
 		for _, parent := range s.After {
 			if parent < 0 || parent >= len(specs) || parent == i {
 				return nil, fmt.Errorf("simnet: packet %d (%v) has invalid dependency %d", i, s.ID, parent)
 			}
+			if _, dup := set[int32(parent)]; dup {
+				return nil, fmt.Errorf("simnet: packet %d (%v) lists dependency %d twice", i, s.ID, parent)
+			}
+			set[int32(parent)] = struct{}{}
 			st.children[parent] = append(st.children[parent], int32(i))
-			st.pending[i]++
 		}
+		st.unmet[i] = set
+	}
+	if err := checkAcyclic(specs); err != nil {
+		return nil, err
 	}
 	if opts.Copies {
 		st.res.Copies = NewCopyMatrix(n.g.N())
@@ -139,6 +162,7 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 	}
 	for st.queue.Len() > 0 {
 		ev := heap.Pop(&st.queue).(event)
+		st.res.Events++
 		st.handle(ev)
 	}
 	for i := range specs {
@@ -148,6 +172,73 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 		}
 	}
 	return st.res, nil
+}
+
+// checkAcyclic rejects dependency cycles among the specs' After lists up
+// front: a cyclic chain can never inject any of its packets, so the run
+// would silently simulate everything else and only fail afterwards with a
+// misleading "no parent delivered" error. Kahn's algorithm over the
+// dependency arcs finds the offending packets and an example cycle.
+func checkAcyclic(specs []PacketSpec) error {
+	indeg := make([]int, len(specs))
+	children := make([][]int, len(specs))
+	for i, s := range specs {
+		indeg[i] = len(s.After)
+		for _, parent := range s.After {
+			children[parent] = append(children[parent], i)
+		}
+	}
+	queue := make([]int, 0, len(specs))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, c := range children[i] {
+			if indeg[c]--; indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if done == len(specs) {
+		return nil
+	}
+	// Walk unresolved dependencies from any stuck packet until a spec
+	// repeats; the walk stays within the cyclic component, so it yields a
+	// concrete example cycle for the error message.
+	start := -1
+	for i, d := range indeg {
+		if d > 0 {
+			start = i
+			break
+		}
+	}
+	path := []int{start}
+	seen := map[int]int{start: 0}
+	for {
+		cur := path[len(path)-1]
+		next := -1
+		for _, parent := range specs[cur].After {
+			if indeg[parent] > 0 {
+				next = parent
+				break
+			}
+		}
+		if at, ok := seen[next]; ok {
+			cycle := ""
+			for _, i := range path[at:] {
+				cycle += fmt.Sprintf("%d (%v) → ", i, specs[i].ID)
+			}
+			return fmt.Errorf("simnet: dependency cycle: %s%d (%v)", cycle, next, specs[next].ID)
+		}
+		seen[next] = len(path)
+		path = append(path, next)
+	}
 }
 
 // start injects packet i at absolute time at.
@@ -286,11 +377,18 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 		if child.Route[0] != node {
 			continue
 		}
+		// Each parent satisfies its dependency at most once, even if it
+		// delivers several copies at the child's source (e.g. a tee route
+		// revisiting the node): a second copy from one parent must not
+		// release a child still waiting on a different parent.
+		if _, waiting := st.unmet[c][pkt]; !waiting {
+			continue
+		}
+		delete(st.unmet[c], pkt)
 		if at > st.ready[c] {
 			st.ready[c] = at
 		}
-		st.pending[c]--
-		if st.pending[c] == 0 {
+		if len(st.unmet[c]) == 0 {
 			st.start(c, st.ready[c]+child.Inject)
 		}
 	}

@@ -81,6 +81,27 @@ type Params struct {
 	Seed  int64   // seed for the background-traffic processes
 }
 
+// Defaulted returns p with unset fields replaced by the repository's
+// standard experiment parameters (τ_S=100, α=20, μ=2, D=37 ticks,
+// virtual cut-through). A fully zero Params selects all defaults. A
+// partially filled Params keeps every field the caller set and defaults
+// only the fields whose zero value is invalid (α and μ); explicit
+// TauS=0 (free startup) and D=0 (no queueing penalty) are legitimate
+// values and are preserved.
+func (p Params) Defaulted() Params {
+	def := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	if p == (Params{}) {
+		return def
+	}
+	if p.Alpha == 0 {
+		p.Alpha = def.Alpha
+	}
+	if p.Mu == 0 {
+		p.Mu = def.Mu
+	}
+	return p
+}
+
 // Validate checks parameter sanity.
 func (p Params) Validate() error {
 	if p.TauS < 0 || p.Alpha <= 0 || p.D < 0 {
@@ -187,6 +208,7 @@ type Result struct {
 	BufferedHops int  // hops performed from intermediate storage
 	Stalls       int  // wormhole in-network stalls
 	Injections   int  // packets injected
+	Events       int  // simulator events processed by the run
 	LinkBusy     Time // total busy time summed over all links (broadcast traffic only)
 	Copies       *CopyMatrix
 	Traces       map[PacketID][]Hop // populated only when Options.Trace

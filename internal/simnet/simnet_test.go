@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -519,6 +520,118 @@ func TestDependencyNeverSatisfiedIsError(t *testing.T) {
 	self := []PacketSpec{{ID: PacketID{}, Route: []topology.Node{0, 1}, After: []int{0}}}
 	if _, err := n.Run(self, Options{}); err == nil {
 		t.Fatal("self dependency accepted")
+	}
+}
+
+func TestDependencyCycleReportedUpfront(t *testing.T) {
+	g := topology.Cycle(8)
+	n, err := New(g, dedicated(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-cycle hidden behind a clean prefix: detection must be up front
+	// (Kahn), not a post-run "never injected" symptom, and must name the
+	// cycle.
+	specs := []PacketSpec{
+		{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1}},
+		{ID: PacketID{Source: 1, Channel: 1}, Route: []topology.Node{1, 2}, After: []int{2}},
+		{ID: PacketID{Source: 2, Channel: 2}, Route: []topology.Node{2, 3}, After: []int{3}},
+		{ID: PacketID{Source: 3, Channel: 3}, Route: []topology.Node{3, 4}, After: []int{1}},
+	}
+	_, err = n.Run(specs, Options{})
+	if err == nil {
+		t.Fatal("cyclic dependency accepted")
+	}
+	if !strings.Contains(err.Error(), "dependency cycle") {
+		t.Fatalf("error does not name the cycle: %v", err)
+	}
+}
+
+func TestDuplicateRouteArcRejected(t *testing.T) {
+	g := topology.Cycle(8)
+	n, err := New(g, dedicated(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0→1 is used twice: the second traversal would silently corrupt the
+	// link's busy-time bookkeeping, so it must be rejected.
+	specs := []PacketSpec{{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 0, 1}}}
+	if _, err := n.Run(specs, Options{}); err == nil {
+		t.Fatal("route with duplicate directed arc accepted")
+	}
+	// Revisiting a node over distinct arcs stays legal (0→1, 1→2, 2→1).
+	ok := []PacketSpec{{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2, 1}}}
+	if _, err := n.Run(ok, Options{}); err != nil {
+		t.Fatalf("node-revisiting route rejected: %v", err)
+	}
+}
+
+func TestDuplicateAfterEntryRejected(t *testing.T) {
+	g := topology.Cycle(8)
+	n, err := New(g, dedicated(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []PacketSpec{
+		{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1}},
+		{ID: PacketID{Source: 1, Channel: 1}, Route: []topology.Node{1, 2}, After: []int{0, 0}},
+	}
+	if _, err := n.Run(specs, Options{}); err == nil {
+		t.Fatal("duplicate After entry accepted")
+	}
+}
+
+// A parent whose route revisits the child's start node delivers there
+// twice. The seed bug counted both deliveries against the child's pending
+// total, releasing it before its other parent had arrived.
+func TestDuplicateParentDeliveryDoesNotReleaseChild(t *testing.T) {
+	g := topology.Cycle(8)
+	p := dedicated(1)
+	specs := []PacketSpec{
+		// Delivers at node 1 twice: mid-route tee and final delivery.
+		{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2, 1}, Tee: true},
+		// The slow second parent, arriving at node 1 much later.
+		{ID: PacketID{Source: 3, Channel: 1}, Route: []topology.Node{3, 2, 1}, Inject: 1000, Tee: true},
+		{ID: PacketID{Source: 1, Channel: 2}, Route: []topology.Node{1, 0}, After: []int{0, 1}},
+	}
+	res := mustRun(t, g, p, specs, Options{Trace: true})
+	// Parent 1 reaches node 1 at 1000 + τ_S + α + μα; only then may the
+	// child start, τ_S later.
+	arrive := Time(1000) + p.TauS + p.Alpha + p.PacketTime()
+	tr := res.Traces[PacketID{Source: 1, Channel: 2}]
+	if len(tr) != 1 {
+		t.Fatalf("child trace has %d hops", len(tr))
+	}
+	if tr[0].HeaderDepart != arrive+p.TauS {
+		t.Fatalf("child departed at %d, want %d (released by a duplicate delivery of parent 0?)",
+			tr[0].HeaderDepart, arrive+p.TauS)
+	}
+}
+
+func TestParamsDefaulted(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   Params
+		want Params
+	}{
+		{"zero gets all defaults", Params{}, Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}},
+		{"full is untouched", Params{TauS: 1, Alpha: 2, Mu: 3, D: 4}, Params{TauS: 1, Alpha: 2, Mu: 3, D: 4}},
+		{"partial keeps given fields", Params{TauS: 7}, Params{TauS: 7, Alpha: 20, Mu: 2, D: 0}},
+		{"zero taus and d survive", Params{TauS: 0, Alpha: 5, Mu: 1, D: 0}, Params{Alpha: 5, Mu: 1}},
+	} {
+		if got := tc.in.Defaulted(); got != tc.want {
+			t.Errorf("%s: Defaulted() = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestResultCountsEvents(t *testing.T) {
+	g := topology.Cycle(8)
+	res := mustRun(t, g, dedicated(2), []PacketSpec{
+		{ID: PacketID{Source: 0}, Route: pathRoute(4), Tee: true},
+	}, Options{})
+	if res.Events <= 0 {
+		t.Fatalf("Events = %d, want > 0", res.Events)
 	}
 }
 
