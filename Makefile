@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench verify
+.PHONY: all build test race vet bench bench-engine verify
 
 all: verify
 
@@ -20,6 +20,12 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Re-measure the engine's headline Q10 ATA microbenchmark and record
+# events/sec, ns/event, and allocs/event (with the pre-flat-array
+# baseline for comparison) in BENCH_engine.json.
+bench-engine:
+	$(GO) run ./cmd/enginebench -o BENCH_engine.json
 
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean).

@@ -130,6 +130,39 @@ func BenchmarkIHCFullATA(b *testing.B) {
 	b.ReportMetric(float64(deliveries)*float64(b.N)/b.Elapsed().Seconds(), "deliveries/s")
 }
 
+// BenchmarkEngineQ10ATA is the engine's headline microbenchmark: one
+// complete ATA reliable broadcast on Q10 (1024 nodes, γ = 10 directed
+// cycles, ~10.5M simulator events per run), with the O(N²) copy matrix
+// disabled so the measurement isolates the event loop. It reports
+// events/sec and ns/event; `make bench-engine` records the numbers in
+// BENCH_engine.json.
+func BenchmarkEngineQ10ATA(b *testing.B) {
+	g := topology.Hypercube(10)
+	cycles, err := hamilton.Hypercube(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := core.New(g, cycles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Contentions != 0 {
+			b.Fatal("contention in dedicated run")
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/(float64(events)*float64(b.N)), "ns/event")
+}
+
 // BenchmarkSimnetPipeline measures raw event throughput: a full ring
 // pipeline of 256 packets x 255 hops.
 func BenchmarkSimnetPipeline(b *testing.B) {

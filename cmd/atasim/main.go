@@ -10,6 +10,7 @@
 //	atasim -net H3 -algo ks -saturated
 //	atasim -net Q6 -algo frs
 //	atasim -net Q6 -algo vrs
+//	atasim -net Q10 -algo ihc -eta 2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -28,9 +29,14 @@ import (
 	"ihc/internal/baseline/vsq"
 	"ihc/internal/core"
 	"ihc/internal/hamilton"
+	"ihc/internal/profiling"
 	"ihc/internal/simnet"
 	"ihc/internal/topology"
 )
+
+// stopProf finishes any active profiles; fail() runs it so profiles
+// survive error exits too.
+var stopProf = func() {}
 
 func main() {
 	var (
@@ -47,8 +53,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "background traffic seed")
 		saturated = flag.Bool("saturated", false, "heavy-traffic limiting regime (Table IV)")
 		verify    = flag.Bool("verify", true, "verify the γ-copy ATA delivery postcondition")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	stopProf = stop
+	defer stop()
 
 	p := simnet.Params{
 		TauS: simnet.Time(*taus), Alpha: simnet.Time(*alpha), Mu: *mu,
@@ -263,6 +278,7 @@ func parseNet(name, prefix string) (int, bool) {
 }
 
 func fail(err error) {
+	stopProf()
 	fmt.Fprintln(os.Stderr, "atasim:", err)
 	os.Exit(1)
 }

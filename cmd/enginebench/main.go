@@ -1,0 +1,123 @@
+// Command enginebench measures the simulation engine's headline
+// microbenchmark — one full Q10 ATA reliable broadcast, the same
+// workload as BenchmarkEngineQ10ATA — and records the numbers as JSON
+// (events/sec, ns/event, allocs/event), alongside the recorded
+// pre-flat-array baseline for comparison. `make bench-engine` writes
+// BENCH_engine.json at the repository root.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ihc/internal/core"
+	"ihc/internal/hamilton"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+// metrics is one engine measurement over the Q10 ATA workload.
+type metrics struct {
+	EventsPerRun   int     `json:"events_per_run"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// baseline is the seed engine (map-addressed links, container/heap event
+// queue, per-packet route copies) measured on this workload before the
+// flat-array rewrite.
+var baseline = metrics{
+	EventsPerRun:   10480640,
+	EventsPerSec:   1.98e6,
+	NsPerEvent:     504.7,
+	AllocsPerEvent: 2.0,
+	BytesPerEvent:  96.4,
+}
+
+type report struct {
+	Benchmark string  `json:"benchmark"`
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go_version"`
+	GoMaxProc int     `json:"gomaxprocs"`
+	Runs      int     `json:"runs"`
+	Current   metrics `json:"current"`
+	Baseline  metrics `json:"baseline_pre_flat_array"`
+	Speedup   float64 `json:"speedup_events_per_sec"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	g := topology.Hypercube(10)
+	cycles, err := hamilton.Hypercube(10)
+	if err != nil {
+		fail(err)
+	}
+	x, err := core.New(g, cycles)
+	if err != nil {
+		fail(err)
+	}
+	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+
+	var events int
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Contentions != 0 {
+				b.Fatal("contention in dedicated run")
+			}
+			events = res.Events
+		}
+	})
+
+	total := float64(events) * float64(r.N)
+	cur := metrics{
+		EventsPerRun:   events,
+		EventsPerSec:   total / r.T.Seconds(),
+		NsPerEvent:     float64(r.T.Nanoseconds()) / total,
+		AllocsPerEvent: float64(r.MemAllocs) / total,
+		BytesPerEvent:  float64(r.MemBytes) / total,
+	}
+	rep := report{
+		Benchmark: "EngineQ10ATA",
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Runs:      r.N,
+		Current:   cur,
+		Baseline:  baseline,
+		Speedup:   cur.EventsPerSec / baseline.EventsPerSec,
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("EngineQ10ATA: %.3g events/s, %.1f ns/event, %.2g allocs/event (%.2fx baseline) -> %s\n",
+		cur.EventsPerSec, cur.NsPerEvent, cur.AllocsPerEvent, rep.Speedup, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "enginebench:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 //	ihcbench -list            # list experiment ids
 //	ihcbench -workers 8       # worker-pool width (0 = GOMAXPROCS)
 //	ihcbench -taus 100 -alpha 20 -mu 2 -d 37   # timing overrides
+//	ihcbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments — and the independent sweep points inside them — fan out
 // across a bounded worker pool; results are merged in the registry's
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"ihc/internal/harness"
+	"ihc/internal/profiling"
 	"ihc/internal/simnet"
 )
 
@@ -36,6 +38,8 @@ func main() {
 		alpha   = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
 		mu      = flag.Int("mu", 2, "packet length μ (FIFO-buffer units)")
 		d       = flag.Int64("d", 37, "queueing delay D (ticks)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -69,9 +73,16 @@ func main() {
 		exps = []harness.Experiment{e}
 	}
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	reports := harness.RunExperiments(exps, cfg)
 	elapsed := time.Since(start)
+	stopProf()
 
 	failures := 0
 	for _, r := range reports {

@@ -21,6 +21,10 @@ type Generator func(src topology.Node, start simnet.Time, seq int) []simnet.Pack
 type Options struct {
 	Copies    bool // build the delivery matrix
 	Saturated bool // heavy-traffic limiting regime (Table IV)
+	// Scratch optionally supplies reusable simulator working memory,
+	// shared by all N chained broadcasts. Nil borrows from simnet's
+	// internal pool. Must not be shared by concurrent runs.
+	Scratch *simnet.Scratch
 }
 
 // Result aggregates a full serialized ATA broadcast.
@@ -52,7 +56,7 @@ func Sequential(g *topology.Graph, p simnet.Params, gen Generator, opts Options)
 	simOpts := simnet.Options{Copies: opts.Copies, Saturated: opts.Saturated}
 	start := simnet.Time(0)
 	for src := 0; src < g.N(); src++ {
-		r, err := net.Run(gen(topology.Node(src), start, src), simOpts)
+		r, err := net.RunScratch(gen(topology.Node(src), start, src), simOpts, opts.Scratch)
 		if err != nil {
 			return nil, err
 		}

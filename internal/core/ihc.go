@@ -212,6 +212,11 @@ type Config struct {
 	// Copies disables the O(N²) delivery matrix when false-by-default
 	// behavior is needed... (kept on by default through Run).
 	SkipCopies bool
+	// Scratch optionally supplies reusable simulator working memory,
+	// shared by every stage of the run (and by subsequent runs that pass
+	// the same Scratch). Nil borrows from simnet's internal pool. Must
+	// not be shared by concurrent runs.
+	Scratch *simnet.Scratch
 }
 
 // Result aggregates an ATA broadcast execution.
@@ -309,7 +314,7 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				r, err := net.Run(specs, opts)
+				r, err := net.RunScratch(specs, opts, cfg.Scratch)
 				if err != nil {
 					return nil, err
 				}
@@ -327,7 +332,7 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := net.Run(specs, opts)
+		r, err := net.RunScratch(specs, opts, cfg.Scratch)
 		if err != nil {
 			return nil, err
 		}

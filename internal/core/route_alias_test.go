@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"ihc/internal/hamilton"
+	"ihc/internal/topology"
+)
+
+// TestStagePacketsShareRouteBacking pins the schedule-memory contract:
+// every packet's Route is a window into its directed cycle's shared
+// doubled buffer, not a per-packet copy — O(N·γ) schedule memory rather
+// than O(N²·γ). With η=1 all N nodes of a cycle initiate in stage 0 at
+// consecutive positions, so adjacent specs' routes must overlap
+// element-for-element in the same backing array.
+func TestStagePacketsShareRouteBacking(t *testing.T) {
+	g := topology.Hypercube(4)
+	cycles, err := hamilton.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(g, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := x.StagePackets([]int{0}, 0, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != g.N() {
+		t.Fatalf("%d specs, want %d", len(specs), g.N())
+	}
+	for i := 0; i+1 < len(specs); i++ {
+		a, b := specs[i].Route, specs[i+1].Route
+		if len(a) != g.N() || len(b) != g.N() {
+			t.Fatalf("route lengths %d/%d, want %d", len(a), len(b), g.N())
+		}
+		// Packet i+1 starts one position later on the same cycle, so its
+		// route is packet i's route shifted by one — same memory.
+		if &a[1] != &b[0] {
+			t.Fatalf("specs %d and %d do not share route backing storage", i, i+1)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// renderOne renders a single experiment exactly as cmd/ihcbench prints
+// it to stdout: the header line, then each table followed by one blank
+// line.
+func renderOne(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Config{Quick: true, Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "=== %s (%s): %s ===\n", e.ID, e.Paper, e.Title)
+	for _, tab := range tables {
+		tab.Render(&buf)
+		fmt.Fprintln(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenOutput compares rendered experiment output against recorded
+// files captured from the pre-flat-array engine (`ihcbench -quick -run
+// <id>`). Byte identity across engine rewrites — and across worker-pool
+// widths — is the regression oracle for the whole simulation stack: any
+// change to event ordering, timing arithmetic, or sweep merging shows up
+// as a diff here.
+func TestGoldenOutput(t *testing.T) {
+	for _, id := range []string{"table1", "fig6"} {
+		want, err := os.ReadFile(filepath.Join("testdata", id+"_quick.golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			got := renderOne(t, id, workers)
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s (workers=%d) differs from recorded output\n--- got ---\n%s\n--- want ---\n%s",
+					id, workers, got, want)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 )
 
@@ -87,10 +88,13 @@ func (c Config) addEvents(n int) {
 // sweep runs fn(0..n-1) — the independent points of one experiment sweep
 // — on a bounded pool of cfg.workers() goroutines and returns the
 // results in index order, so callers produce output identical to a
-// sequential loop. Each point is timed into cfg.Stats. On failure the
-// error of the lowest-indexed failing point is returned, matching what a
-// sequential loop would have surfaced first.
-func sweep[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+// sequential loop. Each worker goroutine owns one simnet.Scratch, handed
+// to every point it runs, so the simulator's working memory is allocated
+// once per worker rather than once per point; points that do not
+// simulate simply ignore it. Each point is timed into cfg.Stats. On
+// failure the error of the lowest-indexed failing point is returned,
+// matching what a sequential loop would have surfaced first.
+func sweep[T any](cfg Config, n int, fn func(i int, sc *simnet.Scratch) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	workers := cfg.workers()
@@ -98,8 +102,9 @@ func sweep[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	if workers <= 1 {
+		sc := simnet.NewScratch()
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = runPoint(cfg, i, fn)
+			out[i], errs[i] = runPoint(cfg, i, sc, fn)
 			if errs[i] != nil {
 				return nil, errs[i]
 			}
@@ -112,8 +117,9 @@ func sweep[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := simnet.NewScratch() // per-worker: never shared across goroutines
 			for i := range idx {
-				out[i], errs[i] = runPoint(cfg, i, fn)
+				out[i], errs[i] = runPoint(cfg, i, sc, fn)
 			}
 		}()
 	}
@@ -130,9 +136,9 @@ func sweep[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
-func runPoint[T any](cfg Config, i int, fn func(int) (T, error)) (T, error) {
+func runPoint[T any](cfg Config, i int, sc *simnet.Scratch, fn func(int, *simnet.Scratch) (T, error)) (T, error) {
 	start := time.Now()
-	v, err := fn(i)
+	v, err := fn(i, sc)
 	if cfg.Stats != nil {
 		cfg.Stats.record(time.Since(start), err)
 	}
@@ -144,8 +150,8 @@ type row []interface{}
 
 // sweepRows is sweep specialized to experiments whose points each
 // produce exactly one table row.
-func sweepRows(cfg Config, points []func() (row, error)) ([]row, error) {
-	return sweep(cfg, len(points), func(i int) (row, error) { return points[i]() })
+func sweepRows(cfg Config, points []func(sc *simnet.Scratch) (row, error)) ([]row, error) {
+	return sweep(cfg, len(points), func(i int, sc *simnet.Scratch) (row, error) { return points[i](sc) })
 }
 
 // Report is one experiment's outcome in a batch run.

@@ -65,8 +65,9 @@ func runTable1(cfg Config) ([]*tablefmt.Table, error) {
 }
 
 // ihcMeasured runs IHC on a fresh network over g and returns the
-// measured finish, crediting simulator events to cfg.Stats.
-func ihcMeasured(cfg Config, g *topology.Graph, p simnet.Params, eta int) (simnet.Time, *core.Result, error) {
+// measured finish, crediting simulator events to cfg.Stats. sc is the
+// calling sweep worker's reusable scratch (nil is fine).
+func ihcMeasured(cfg Config, g *topology.Graph, p simnet.Params, eta int, sc *simnet.Scratch) (simnet.Time, *core.Result, error) {
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		return 0, nil, err
@@ -75,7 +76,7 @@ func ihcMeasured(cfg Config, g *topology.Graph, p simnet.Params, eta int) (simne
 	if err != nil {
 		return 0, nil, err
 	}
-	res, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true})
+	res, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true, Scratch: sc})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -105,14 +106,14 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 		fmt.Sprintf("Table II — execution times, ρ=0 (τ_S=%d α=%d μ=%d, η=%d ticks)", p.TauS, p.Alpha, p.Mu, eta),
 		"Algorithm", "Network", "N", "Model", "Measured", "Measured-Model")
 
-	var points []func() (row, error)
+	var points []func(sc *simnet.Scratch) (row, error)
 	// IHC on all three families.
 	for _, g := range []*topology.Graph{
 		topology.Hypercube(qDim), topology.SquareTorus(sqM), topology.HexMesh(hM),
 	} {
 		g := g
-		points = append(points, func() (row, error) {
-			measured, res, err := ihcMeasured(cfg, g, p, eta)
+		points = append(points, func(sc *simnet.Scratch) (row, error) {
+			measured, res, err := ihcMeasured(cfg, g, p, eta, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -124,8 +125,8 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 		})
 	}
 	points = append(points,
-		func() (row, error) {
-			vres, err := rs.ATA(qDim, p, atarun.Options{})
+		func(sc *simnet.Scratch) (row, error) {
+			vres, err := rs.ATA(qDim, p, atarun.Options{Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -133,8 +134,8 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 			vm := model.VRSATABest(mp, 1<<qDim)
 			return row{"VRS-ATA", fmt.Sprintf("Q%d", qDim), 1 << qDim, vm, vres.Finish, match(vres.Finish, vm)}, nil
 		},
-		func() (row, error) {
-			kres, err := ks.ATA(hM, p, atarun.Options{})
+		func(sc *simnet.Scratch) (row, error) {
+			kres, err := ks.ATA(hM, p, atarun.Options{Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -142,8 +143,8 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 			km := model.KSATABest(mp, hM)
 			return row{"KS-ATA", fmt.Sprintf("H%d", hM), topology.HexMeshSize(hM), km, kres.Finish, match(kres.Finish, km)}, nil
 		},
-		func() (row, error) {
-			sres, err := vsq.ATA(sqM, p, atarun.Options{})
+		func(sc *simnet.Scratch) (row, error) {
+			sres, err := vsq.ATA(sqM, p, atarun.Options{Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -151,7 +152,7 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 			sm := model.VSQATABest(mp, sqM)
 			return row{"VSQ-ATA", fmt.Sprintf("SQ%d", sqM), sqM * sqM, sm, sres.Finish, match(sres.Finish, sm)}, nil
 		},
-		func() (row, error) {
+		func(sc *simnet.Scratch) (row, error) {
 			fres, err := frs.Run(qDim, p, false)
 			if err != nil {
 				return nil, err
@@ -188,20 +189,20 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 	qDim, sqM, hM := table2Sizes(cfg.Quick)
 	n := 1 << qDim
 
-	points := []func() (simnet.Time, error){
-		func() (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.Hypercube(qDim), p, 2)
+	points := []func(sc *simnet.Scratch) (simnet.Time, error){
+		func(sc *simnet.Scratch) (simnet.Time, error) {
+			f, _, err := ihcMeasured(cfg, topology.Hypercube(qDim), p, 2, sc)
 			return f, err
 		},
-		func() (simnet.Time, error) {
-			vres, err := rs.ATA(qDim, p, atarun.Options{})
+		func(sc *simnet.Scratch) (simnet.Time, error) {
+			vres, err := rs.ATA(qDim, p, atarun.Options{Scratch: sc})
 			if err != nil {
 				return 0, err
 			}
 			cfg.addEvents(vres.Events)
 			return vres.Finish, nil
 		},
-		func() (simnet.Time, error) {
+		func(sc *simnet.Scratch) (simnet.Time, error) {
 			fres, err := frs.Run(qDim, p, false)
 			if err != nil {
 				return 0, err
@@ -209,24 +210,24 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 			cfg.addEvents(fres.Events)
 			return fres.Finish, nil
 		},
-		func() (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.SquareTorus(sqM), p, 2)
+		func(sc *simnet.Scratch) (simnet.Time, error) {
+			f, _, err := ihcMeasured(cfg, topology.SquareTorus(sqM), p, 2, sc)
 			return f, err
 		},
-		func() (simnet.Time, error) {
-			sres, err := vsq.ATA(sqM, p, atarun.Options{})
+		func(sc *simnet.Scratch) (simnet.Time, error) {
+			sres, err := vsq.ATA(sqM, p, atarun.Options{Scratch: sc})
 			if err != nil {
 				return 0, err
 			}
 			cfg.addEvents(sres.Events)
 			return sres.Finish, nil
 		},
-		func() (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.HexMesh(hM), p, 2)
+		func(sc *simnet.Scratch) (simnet.Time, error) {
+			f, _, err := ihcMeasured(cfg, topology.HexMesh(hM), p, 2, sc)
 			return f, err
 		},
-		func() (simnet.Time, error) {
-			kres, err := ks.ATA(hM, p, atarun.Options{})
+		func(sc *simnet.Scratch) (simnet.Time, error) {
+			kres, err := ks.ATA(hM, p, atarun.Options{Scratch: sc})
 			if err != nil {
 				return 0, err
 			}
@@ -234,7 +235,7 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 			return kres.Finish, nil
 		},
 	}
-	fin, err := sweep(cfg, len(points), func(i int) (simnet.Time, error) { return points[i]() })
+	fin, err := sweep(cfg, len(points), func(i int, sc *simnet.Scratch) (simnet.Time, error) { return points[i](sc) })
 	if err != nil {
 		return nil, err
 	}
@@ -273,8 +274,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 		fmt.Sprintf("Table IV — worst-case times (every hop buffered + queued; τ_S=%d α=%d μ=%d D=%d)", p.TauS, p.Alpha, p.Mu, p.D),
 		"Algorithm", "Network", "Model (paper)", "Measured", "Measured-Model")
 
-	points := []func() (row, error){
-		func() (row, error) {
+	points := []func(sc *simnet.Scratch) (row, error){
+		func(sc *simnet.Scratch) (row, error) {
 			cycles, err := hamilton.Decompose(topology.Hypercube(qDim))
 			if err != nil {
 				return nil, err
@@ -283,7 +284,7 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := x.Run(core.Config{Eta: eta, Params: p, Saturated: true, SkipCopies: true})
+			res, err := x.Run(core.Config{Eta: eta, Params: p, Saturated: true, SkipCopies: true, Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -291,8 +292,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			im := model.IHCWorst(mp, n, eta)
 			return row{"IHC", fmt.Sprintf("Q%d", qDim), im, res.Finish, match(res.Finish, im)}, nil
 		},
-		func() (row, error) {
-			vres, err := rs.ATA(qDim, p, atarun.Options{Saturated: true})
+		func(sc *simnet.Scratch) (row, error) {
+			vres, err := rs.ATA(qDim, p, atarun.Options{Saturated: true, Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -300,8 +301,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			vm := model.VRSATAWorst(mp, n)
 			return row{"VRS-ATA", fmt.Sprintf("Q%d", qDim), vm, vres.Finish, match(vres.Finish, vm)}, nil
 		},
-		func() (row, error) {
-			kres, err := ks.ATA(hM, p, atarun.Options{Saturated: true})
+		func(sc *simnet.Scratch) (row, error) {
+			kres, err := ks.ATA(hM, p, atarun.Options{Saturated: true, Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -309,8 +310,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			km := model.KSATAWorst(mp, hM)
 			return row{"KS-ATA", fmt.Sprintf("H%d", hM), km, kres.Finish, match(kres.Finish, km)}, nil
 		},
-		func() (row, error) {
-			sres, err := vsq.ATA(sqM, p, atarun.Options{Saturated: true})
+		func(sc *simnet.Scratch) (row, error) {
+			sres, err := vsq.ATA(sqM, p, atarun.Options{Saturated: true, Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -318,7 +319,7 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			sm := model.VSQATAWorst(mp, sqM)
 			return row{"VSQ-ATA", fmt.Sprintf("SQ%d", sqM), sm, sres.Finish, match(sres.Finish, sm)}, nil
 		},
-		func() (row, error) {
+		func(sc *simnet.Scratch) (row, error) {
 			// FRS's worst case only adds D per step (its packets are
 			// already store-and-forward); model it and measure with D
 			// folded into τ_S.

@@ -1,0 +1,48 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags of
+// the command-line tools to runtime/pprof, so engine hot spots can be
+// inspected with `go tool pprof` against a real workload instead of a
+// microbenchmark.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (when non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// to memFile (when non-empty). Callers must invoke stop on every exit
+// path that should produce profiles — typically via defer in main.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 
 	"ihc/internal/topology"
@@ -21,6 +20,12 @@ import (
 // reserves the next free slot and pays the queueing delay D. Wormhole
 // packets stall in the network instead of buffering. Events are processed
 // in (time, sequence) order, so runs are fully deterministic.
+//
+// The hot path is flat and index-addressed: before the event loop starts,
+// every route is compiled into a []int32 of arc indices (validating
+// adjacency once), so handle() reaches its link by slice indexing into
+// the network's dense []link — no map probes, no interface boxing, and,
+// with a reused Scratch, no allocation per event.
 
 type evKind uint8
 
@@ -38,23 +43,74 @@ type event struct {
 	arr  Time // header arrival time at the hop's source node
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// before reports whether a orders strictly before b: primary key is
+// simulated time, tiebroken by push sequence. The order is total (seq is
+// unique), so every conforming priority queue pops the exact same event
+// sequence — the determinism the regression oracle relies on.
+func (a *event) before(b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+
+// eventHeap is a monomorphic 4-ary min-heap over a reusable backing
+// array. Compared to container/heap it avoids the interface{} boxing
+// (one heap allocation per pushed event) and the dynamic Less/Swap
+// dispatch; the 4-ary layout halves the tree depth, so a pop touches
+// fewer cache lines at the cost of cheap in-line sibling comparisons.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) push(e event) {
+	a := append(h.a, e)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(&a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = e
+	h.a = a
+}
+
+func (h *eventHeap) pop() event {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	h.a = a[:n]
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for k := c + 1; k < hi; k++ {
+			if a[k].before(&a[m]) {
+				m = k
+			}
+		}
+		if !a[m].before(&last) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = last
+	return top
 }
 
 // Options controls what a Run records beyond aggregate counters.
@@ -73,29 +129,70 @@ type Options struct {
 	Saturated bool
 }
 
+// runState is the working state of one Run. It lives inside a Scratch so
+// that every slice — the event queue, the compiled routes, the
+// dependency bookkeeping — keeps its backing array across runs.
 type runState struct {
 	net      *Network
 	specs    []PacketSpec
 	opts     Options
-	queue    eventQueue
+	queue    eventHeap
 	seq      int64
 	res      *Result
-	children map[int][]int32      // parent spec index -> dependent spec indices
-	unmet    []map[int32]struct{} // per spec: parents that have not yet delivered at Route[0]
-	ready    []Time               // per spec: latest parent delivery at Route[0]
+	arcStamp []int32   // per arc: spec index + 1 that last used it (duplicate detection)
+	arcs     []int32   // compiled routes: one arc index per hop, all specs back to back
+	arcOff   []int32   // arcs[arcOff[i]:arcOff[i+1]] are spec i's hops
+	children [][]int32 // per spec: dependent spec indices
+	unmet    [][]int32 // per spec: parents that have not yet delivered at Route[0]
+	ready    []Time    // per spec: latest parent delivery at Route[0]
 	started  []bool
 }
 
+// release drops the pointers a finished run would otherwise pin in the
+// scratch (the caller's specs and the returned Result), keeping only the
+// reusable backing arrays.
+func (st *runState) release() {
+	st.net, st.specs, st.res = nil, nil, nil
+}
+
 // Run simulates the given packets to completion and returns aggregate
-// results. Link state (transmitter reservations, background-traffic
-// phase) persists across calls on the same Network, so staged algorithms
-// can chain Runs; use a fresh Network for independent experiments.
+// results, drawing working memory from a pooled Scratch. Link state
+// (transmitter reservations, background-traffic phase) persists across
+// calls on the same Network, so staged algorithms can chain Runs; use a
+// fresh Network for independent experiments.
 func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
-	// arcStamp detects a route traversing the same directed link twice:
-	// such a packet would contend with itself and the schedule is
-	// malformed. Stamped with spec index + 1 so one allocation serves
-	// every spec.
-	arcStamp := make([]int32, len(n.arcIdx))
+	return n.RunScratch(specs, opts, nil)
+}
+
+// RunScratch is Run with caller-owned working memory: all transient
+// allocations of the event loop live in sc and are reused by the next
+// run. A nil sc borrows scratch from an internal pool. A Scratch must
+// never be used by two goroutines at once; results are identical with
+// or without reuse.
+func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Result, error) {
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+	}
+	st := &sc.st
+	defer st.release()
+	st.net, st.specs, st.opts = n, specs, opts
+	st.res = &Result{}
+	st.queue.a = st.queue.a[:0]
+	st.seq = 0
+
+	// Route compilation: one pass validates adjacency and duplicate
+	// directed links, and emits each hop's arc index so the event loop
+	// addresses links by pointer arithmetic instead of hashing.
+	// arcStamp detects a route traversing the same directed link twice
+	// (such a packet would contend with itself and the schedule is
+	// malformed); stamped with spec index + 1 so one cleared array
+	// serves every spec.
+	st.arcStamp = growInt32(st.arcStamp, len(n.links))
+	clear(st.arcStamp)
+	st.arcs = st.arcs[:0]
+	st.arcOff = append(st.arcOff[:0], 0)
+	hasDeps := false
 	for i, s := range specs {
 		if len(s.Route) < 2 {
 			return nil, fmt.Errorf("simnet: packet %d (%v) has route of %d nodes", i, s.ID, len(s.Route))
@@ -104,48 +201,49 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("simnet: packet %d (%v) has negative inject time", i, s.ID)
 		}
 		for h := 0; h+1 < len(s.Route); h++ {
-			a := topology.Arc{From: s.Route[h], To: s.Route[h+1]}
-			if !n.g.HasEdge(a.From, a.To) {
+			from, to := s.Route[h], s.Route[h+1]
+			idx := n.arcIndex(from, to)
+			if idx < 0 {
 				return nil, fmt.Errorf("simnet: packet %d (%v) route step %d: {%d,%d} not an edge of %s",
-					i, s.ID, h, a.From, a.To, n.g.Name())
+					i, s.ID, h, from, to, n.g.Name())
 			}
-			if idx := n.arcIdx[a]; arcStamp[idx] == int32(i)+1 {
+			if st.arcStamp[idx] == int32(i)+1 {
 				return nil, fmt.Errorf("simnet: packet %d (%v) route uses directed link %d→%d twice",
-					i, s.ID, a.From, a.To)
-			} else {
-				arcStamp[idx] = int32(i) + 1
+					i, s.ID, from, to)
 			}
+			st.arcStamp[idx] = int32(i) + 1
+			st.arcs = append(st.arcs, idx)
+		}
+		st.arcOff = append(st.arcOff, int32(len(st.arcs)))
+		if len(s.After) > 0 {
+			hasDeps = true
 		}
 	}
-	st := &runState{
-		net:      n,
-		specs:    specs,
-		opts:     opts,
-		res:      &Result{},
-		children: make(map[int][]int32),
-		unmet:    make([]map[int32]struct{}, len(specs)),
-		ready:    make([]Time, len(specs)),
-		started:  make([]bool, len(specs)),
-	}
-	for i, s := range specs {
-		if len(s.After) == 0 {
-			continue
-		}
-		set := make(map[int32]struct{}, len(s.After))
-		for _, parent := range s.After {
-			if parent < 0 || parent >= len(specs) || parent == i {
-				return nil, fmt.Errorf("simnet: packet %d (%v) has invalid dependency %d", i, s.ID, parent)
+
+	st.children = resetLists(st.children, len(specs))
+	st.unmet = resetLists(st.unmet, len(specs))
+	st.ready = growTimes(st.ready, len(specs))
+	clear(st.ready)
+	st.started = growBools(st.started, len(specs))
+	clear(st.started)
+	if hasDeps {
+		for i, s := range specs {
+			for _, parent := range s.After {
+				if parent < 0 || parent >= len(specs) || parent == i {
+					return nil, fmt.Errorf("simnet: packet %d (%v) has invalid dependency %d", i, s.ID, parent)
+				}
+				for _, q := range st.unmet[i] {
+					if q == int32(parent) {
+						return nil, fmt.Errorf("simnet: packet %d (%v) lists dependency %d twice", i, s.ID, parent)
+					}
+				}
+				st.unmet[i] = append(st.unmet[i], int32(parent))
+				st.children[parent] = append(st.children[parent], int32(i))
 			}
-			if _, dup := set[int32(parent)]; dup {
-				return nil, fmt.Errorf("simnet: packet %d (%v) lists dependency %d twice", i, s.ID, parent)
-			}
-			set[int32(parent)] = struct{}{}
-			st.children[parent] = append(st.children[parent], int32(i))
 		}
-		st.unmet[i] = set
-	}
-	if err := checkAcyclic(specs); err != nil {
-		return nil, err
+		if err := checkAcyclic(specs); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Copies {
 		st.res.Copies = NewCopyMatrix(n.g.N())
@@ -160,8 +258,8 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 		// Source injection: startup τ_S, then request the first link.
 		st.start(int32(i), s.Inject)
 	}
-	for st.queue.Len() > 0 {
-		ev := heap.Pop(&st.queue).(event)
+	for len(st.queue.a) > 0 {
+		ev := st.queue.pop()
 		st.res.Events++
 		st.handle(ev)
 	}
@@ -251,7 +349,7 @@ func (st *runState) start(i int32, at Time) {
 func (st *runState) push(ev event) {
 	ev.seq = st.seq
 	st.seq++
-	heap.Push(&st.queue, ev)
+	st.queue.push(ev)
 }
 
 func (st *runState) handle(ev event) {
@@ -264,7 +362,7 @@ func (st *runState) handle(ev event) {
 	if spec.Flits > 0 {
 		pt = Time(spec.Flits) * p.Alpha
 	}
-	l := st.net.links[topology.Arc{From: from, To: to}]
+	l := &st.net.links[st.arcs[st.arcOff[ev.pkt]+ev.hop]]
 
 	var depart Time
 	var kind HopKind
@@ -372,7 +470,7 @@ func (st *runState) linkFree(l *link, t Time) (Time, bool) {
 func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 	id := st.specs[pkt].ID
 	st.res.Deliveries++
-	for _, c := range st.children[int(pkt)] {
+	for _, c := range st.children[pkt] {
 		child := &st.specs[c]
 		if child.Route[0] != node {
 			continue
@@ -381,10 +479,19 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 		// delivers several copies at the child's source (e.g. a tee route
 		// revisiting the node): a second copy from one parent must not
 		// release a child still waiting on a different parent.
-		if _, waiting := st.unmet[c][pkt]; !waiting {
+		w := st.unmet[c]
+		k := -1
+		for idx, parent := range w {
+			if parent == pkt {
+				k = idx
+				break
+			}
+		}
+		if k < 0 {
 			continue
 		}
-		delete(st.unmet[c], pkt)
+		w[k] = w[len(w)-1]
+		st.unmet[c] = w[:len(w)-1]
 		if at > st.ready[c] {
 			st.ready[c] = at
 		}

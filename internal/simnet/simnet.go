@@ -236,19 +236,30 @@ func NewCopyMatrix(n int) *CopyMatrix {
 	return &CopyMatrix{n: n, counts: make([]uint16, n*n)}
 }
 
-// Add records one more copy of src's message at recv.
+// Add records one more copy of src's message at recv. Counts saturate at
+// 65535 rather than silently wrapping to 0: chained multi-round runs on
+// one matrix can exceed uint16, and a wrapped count would make VerifyATA
+// report a missing delivery that in fact happened. A saturated cell still
+// fails VerifyATA (it no longer equals the expected exact count), so the
+// overflow is loud, never silent.
 func (cm *CopyMatrix) Add(recv, src topology.Node) {
-	cm.counts[int(recv)*cm.n+int(src)]++
+	if c := &cm.counts[int(recv)*cm.n+int(src)]; *c < math.MaxUint16 {
+		*c++
+	}
 }
 
-// Merge adds all counts of other into cm. The matrices must be the same
-// size.
+// Merge adds all counts of other into cm, saturating at 65535 like Add.
+// The matrices must be the same size.
 func (cm *CopyMatrix) Merge(other *CopyMatrix) {
 	if other.n != cm.n {
 		panic(fmt.Sprintf("simnet: merging %d-node matrix into %d-node matrix", other.n, cm.n))
 	}
 	for i, c := range other.counts {
-		cm.counts[i] += c
+		if s := uint32(cm.counts[i]) + uint32(c); s < math.MaxUint16 {
+			cm.counts[i] = uint16(s)
+		} else {
+			cm.counts[i] = math.MaxUint16
+		}
 	}
 }
 
@@ -303,11 +314,17 @@ type link struct {
 }
 
 // Network is a simulatable instance of a graph plus switching parameters.
+// Link state is a dense slice indexed by arc id (the position of the arc
+// in g.Arcs()). Because the graph's adjacency lists are sorted, the arc
+// id of (u, v) is arcBase[u] plus the rank of v among u's neighbors, so
+// route compilation resolves and validates each hop with a short scan of
+// one adjacency list — the engine never hashes, not even at the
+// construction/validation boundary.
 type Network struct {
-	g      *topology.Graph
-	p      Params
-	links  map[topology.Arc]*link
-	arcIdx map[topology.Arc]int
+	g       *topology.Graph
+	p       Params
+	links   []link
+	arcBase []int32 // arcBase[u] = number of arcs leaving nodes < u
 }
 
 // New builds a network over g with the given parameters.
@@ -315,22 +332,38 @@ func New(g *topology.Graph, p Params) (*Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	nn := g.N()
 	n := &Network{
-		g:      g,
-		p:      p,
-		links:  make(map[topology.Arc]*link, 2*g.M()),
-		arcIdx: make(map[topology.Arc]int, 2*g.M()),
+		g:       g,
+		p:       p,
+		links:   make([]link, 2*g.M()),
+		arcBase: make([]int32, nn+1),
 	}
-	for i, a := range g.Arcs() {
-		l := &link{}
-		if p.Rho > 0 {
-			const mix = 0x9e3779b97f4a7c15
-			l.bg = newBgProcess(rand.New(rand.NewSource(p.Seed^int64(uint64(i)*mix+1))), p)
+	for u := 0; u < nn; u++ {
+		n.arcBase[u+1] = n.arcBase[u] + int32(g.Degree(topology.Node(u)))
+	}
+	if p.Rho > 0 {
+		const mix = 0x9e3779b97f4a7c15
+		for i := range n.links {
+			n.links[i].bg = newBgProcess(rand.New(rand.NewSource(p.Seed^int64(uint64(i)*mix+1))), p)
 		}
-		n.links[a] = l
-		n.arcIdx[a] = i
 	}
 	return n, nil
+}
+
+// arcIndex resolves the directed link from→to to its dense arc id, or
+// -1 when {from, to} is not an edge of the graph (including nodes out of
+// range). The id equals the arc's position in g.Arcs().
+func (n *Network) arcIndex(from, to topology.Node) int32 {
+	if from < 0 || to < 0 || int(from) >= n.g.N() || int(to) >= n.g.N() {
+		return -1
+	}
+	for i, v := range n.g.Neighbors(from) {
+		if v == to {
+			return n.arcBase[from] + int32(i)
+		}
+	}
+	return -1
 }
 
 // Graph returns the underlying topology.

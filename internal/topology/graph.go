@@ -51,12 +51,18 @@ func (a Arc) Edge() Edge { return NewEdge(a.From, a.To) }
 func (a Arc) String() string { return fmt.Sprintf("%d->%d", a.From, a.To) }
 
 // Graph is a simple undirected graph over nodes 0..N()-1.
+//
+// All mutation happens through AddEdge; every query method is a pure
+// read. Both the edge set and the adjacency lists are maintained
+// incrementally at insertion time — never lazily on first query — so a
+// fully constructed Graph is safe for concurrent readers (the parallel
+// sweep executor validates routes against a shared *Graph from many
+// goroutines at once).
 type Graph struct {
 	name string
-	adj  [][]Node
-	// edgeSet is built lazily by HasEdge for O(1) membership tests.
+	adj  [][]Node // each list kept sorted by AddEdge
+	// edgeSet provides O(1) membership tests; populated by AddEdge.
 	edgeSet map[Edge]struct{}
-	sorted  bool
 }
 
 // New returns an empty graph with n isolated nodes.
@@ -64,7 +70,7 @@ func New(name string, n int) *Graph {
 	if n < 0 {
 		panic("topology: negative node count")
 	}
-	return &Graph{name: name, adj: make([][]Node, n)}
+	return &Graph{name: name, adj: make([][]Node, n), edgeSet: make(map[Edge]struct{})}
 }
 
 // Name returns the human-readable name of the graph (e.g. "Q4", "SQ5").
@@ -74,13 +80,7 @@ func (g *Graph) Name() string { return g.name }
 func (g *Graph) N() int { return len(g.adj) }
 
 // M returns the number of undirected edges.
-func (g *Graph) M() int {
-	total := 0
-	for _, nbrs := range g.adj {
-		total += len(nbrs)
-	}
-	return total / 2
-}
+func (g *Graph) M() int { return len(g.edgeSet) }
 
 // AddEdge inserts the undirected edge {u, v}. Duplicate insertions and
 // self-loops panic: the constructions in this repository are exact, and a
@@ -91,13 +91,23 @@ func (g *Graph) AddEdge(u, v Node) {
 	}
 	g.checkNode(u)
 	g.checkNode(v)
-	if g.hasEdgeSlow(u, v) {
+	e := NewEdge(u, v)
+	if _, dup := g.edgeSet[e]; dup {
 		panic(fmt.Sprintf("topology: duplicate edge {%d,%d} in %s", u, v, g.name))
 	}
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
-	g.edgeSet = nil
-	g.sorted = false
+	g.edgeSet[e] = struct{}{}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+}
+
+// insertSorted places v at its sorted position in s, keeping adjacency
+// lists ordered at insertion time so queries never mutate the graph.
+func insertSorted(s []Node, v Node) []Node {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }
 
 func (g *Graph) checkNode(u Node) {
@@ -106,27 +116,11 @@ func (g *Graph) checkNode(u Node) {
 	}
 }
 
-func (g *Graph) hasEdgeSlow(u, v Node) bool {
-	for _, w := range g.adj[u] {
-		if w == v {
-			return true
-		}
-	}
-	return false
-}
-
-// HasEdge reports whether {u, v} is an edge of g.
+// HasEdge reports whether {u, v} is an edge of g. It is a pure read and
+// safe to call from concurrent goroutines once construction is done.
 func (g *Graph) HasEdge(u, v Node) bool {
 	if u == v || u < 0 || v < 0 || int(u) >= g.N() || int(v) >= g.N() {
 		return false
-	}
-	if g.edgeSet == nil {
-		g.edgeSet = make(map[Edge]struct{}, g.M())
-		for u, nbrs := range g.adj {
-			for _, v := range nbrs {
-				g.edgeSet[NewEdge(Node(u), v)] = struct{}{}
-			}
-		}
 	}
 	_, ok := g.edgeSet[NewEdge(u, v)]
 	return ok
@@ -136,12 +130,6 @@ func (g *Graph) HasEdge(u, v Node) bool {
 // owned by the graph and must not be modified.
 func (g *Graph) Neighbors(u Node) []Node {
 	g.checkNode(u)
-	if !g.sorted {
-		for _, nbrs := range g.adj {
-			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-		}
-		g.sorted = true
-	}
 	return g.adj[u]
 }
 
@@ -151,7 +139,9 @@ func (g *Graph) Degree(u Node) int {
 	return len(g.adj[u])
 }
 
-// Edges returns all undirected edges in canonical form, sorted.
+// Edges returns all undirected edges in canonical form, sorted. The
+// adjacency lists are kept sorted by AddEdge, so iterating nodes in
+// order already yields (U, V)-sorted canonical edges.
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.M())
 	for u, nbrs := range g.adj {
@@ -161,16 +151,13 @@ func (g *Graph) Edges() []Edge {
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
 	return edges
 }
 
-// Arcs returns all 2*M() directed arcs of G^dir.
+// Arcs returns all 2*M() directed arcs of G^dir, sorted by (From, To).
+// Arc i of this slice is the arc index used by simnet's dense link
+// state; the order is a pure function of the graph, so it is stable
+// across calls and processes.
 func (g *Graph) Arcs() []Arc {
 	arcs := make([]Arc, 0, 2*g.M())
 	for u := range g.adj {
@@ -178,12 +165,6 @@ func (g *Graph) Arcs() []Arc {
 			arcs = append(arcs, Arc{Node(u), v})
 		}
 	}
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].From != arcs[j].From {
-			return arcs[i].From < arcs[j].From
-		}
-		return arcs[i].To < arcs[j].To
-	})
 	return arcs
 }
 
