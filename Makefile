@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz verify
 
 all: verify
 
@@ -26,6 +26,19 @@ bench:
 # baseline for comparison) in BENCH_engine.json.
 bench-engine:
 	$(GO) run ./cmd/enginebench -o BENCH_engine.json
+
+# Run the adversarial fault campaign over sq4,q4,q6,h3 and record the
+# measured tolerance frontier per topology plus campaign throughput
+# (placements/s) in BENCH_fault.json. Exits non-zero if any placement
+# at or under the paper's link-domain bounds breaks delivery.
+bench-fault:
+	$(GO) run ./cmd/faultcamp -o BENCH_fault.json
+
+# Short fuzz smoke over the voter and the MAC verify path (the two
+# spots that take adversarial bytes), mirroring the CI budget.
+fuzz:
+	$(GO) test -fuzz=FuzzVoteUnsigned -fuzztime=15s ./internal/reliable
+	$(GO) test -fuzz=FuzzKeyringVerify -fuzztime=15s ./internal/reliable
 
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean).

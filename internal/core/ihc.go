@@ -217,6 +217,16 @@ type Config struct {
 	// the same Scratch). Nil borrows from simnet's internal pool. Must
 	// not be shared by concurrent runs.
 	Scratch *simnet.Scratch
+	// Fault, when non-nil, injects faults into every stage's relay path
+	// (see simnet.FaultHook and fault.TemporalPlan.Compile). Stage
+	// chaining still uses each stage's measured finish time, so a drop
+	// that shortens a stage shifts the following stages earlier — exactly
+	// the behaviour a temporal plan wants graded.
+	Fault simnet.FaultHook
+	// RecordDeliveries collects every delivery (with its corruption flag)
+	// across all stages into Result.Deliveriesv, in simulation order
+	// within each stage run. Required by the timed reliability grader.
+	RecordDeliveries bool
 }
 
 // Result aggregates an ATA broadcast execution.
@@ -232,7 +242,10 @@ type Result struct {
 	Deliveries   int
 	Events       int // simulator events processed across all stage runs
 	LinkBusy     simnet.Time
+	FaultDrops   int // copies killed in flight by the fault hook
+	FaultTaints  int // payload corruptions injected by the fault hook
 	Copies       *simnet.CopyMatrix // nil when SkipCopies
+	Deliveriesv  []simnet.Delivery  // populated only when RecordDeliveries
 }
 
 // Utilization returns the fraction of total link capacity (links x
@@ -257,9 +270,12 @@ func (r *Result) absorb(s *simnet.Result) {
 	r.Deliveries += s.Deliveries
 	r.Events += s.Events
 	r.LinkBusy += s.LinkBusy
+	r.FaultDrops += s.FaultDrops
+	r.FaultTaints += s.FaultTaints
 	if r.Copies != nil && s.Copies != nil {
 		r.Copies.Merge(s.Copies)
 	}
+	r.Deliveriesv = append(r.Deliveriesv, s.Deliveriesv...)
 }
 
 func (x *IHC) validate(cfg *Config) error {
@@ -295,7 +311,12 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 	if !cfg.SkipCopies {
 		res.Copies = simnet.NewCopyMatrix(x.N())
 	}
-	opts := simnet.Options{Copies: !cfg.SkipCopies, Saturated: cfg.Saturated}
+	opts := simnet.Options{
+		Copies:           !cfg.SkipCopies,
+		Saturated:        cfg.Saturated,
+		Fault:            cfg.Fault,
+		RecordDeliveries: cfg.RecordDeliveries,
+	}
 	overlapLead := simnet.Time(0)
 	if cfg.Overlap {
 		overlapLead = simnet.Time(cfg.Params.Mu-1) * cfg.Params.Alpha
@@ -393,9 +414,12 @@ func (x *IHC) RunSequential(cfg Config, k int) (*Result, error) {
 		res.Deliveries += r.Deliveries
 		res.Events += r.Events
 		res.LinkBusy += r.LinkBusy
+		res.FaultDrops += r.FaultDrops
+		res.FaultTaints += r.FaultTaints
 		if res.Copies != nil && r.Copies != nil {
 			res.Copies.Merge(r.Copies)
 		}
+		res.Deliveriesv = append(res.Deliveriesv, r.Deliveriesv...)
 		start = r.Finish
 	}
 	return res, nil

@@ -54,8 +54,16 @@ func (k Kind) String() string {
 // fault-free plan.
 type Plan struct {
 	Nodes map[topology.Node]Kind
-	Links map[topology.Edge]bool // broken (bidirectional) links
-	Seed  int64                  // drives Byzantine coin flips
+	Links map[topology.Edge]bool // broken (bidirectional) links: copies crossing them are lost
+	// Noisy links deliver every crossing copy with a corrupted payload
+	// instead of losing it — the link-level analogue of a Corrupt node.
+	// This is the adversary model under which the paper's bounds are
+	// exact: the γ routes of a (source, receiver) pair are arc-disjoint,
+	// so each noisy link taints at most one of the pair's copies, whereas
+	// an interior *node* sits on γ/2 of them. A link both broken and noisy
+	// acts broken (loss dominates).
+	Noisy map[topology.Edge]bool
+	Seed  int64 // drives Byzantine coin flips
 }
 
 // NewPlan returns an empty plan with the given seed.
@@ -63,6 +71,7 @@ func NewPlan(seed int64) *Plan {
 	return &Plan{
 		Nodes: make(map[topology.Node]Kind),
 		Links: make(map[topology.Edge]bool),
+		Noisy: make(map[topology.Edge]bool),
 		Seed:  seed,
 	}
 }
@@ -81,6 +90,39 @@ func (p *Plan) LinkBroken(u, v topology.Node) bool {
 		return false
 	}
 	return p.Links[topology.NewEdge(u, v)]
+}
+
+// LinkNoisy reports whether the undirected link {u, v} corrupts payloads.
+func (p *Plan) LinkNoisy(u, v topology.Node) bool {
+	if p == nil || p.Noisy == nil {
+		return false
+	}
+	return p.Noisy[topology.NewEdge(u, v)]
+}
+
+// Validate checks that every node and link the plan names actually exists
+// in g: nodes must lie in [0, N) and links must be edges of the graph.
+// Out-of-graph entries used to be silently ignored by TraceRoute (a route
+// never visits them), which turned typos in fault placements into
+// vacuously passing experiments; all entry points that accept a plan now
+// reject them instead.
+func (p *Plan) Validate(g *topology.Graph) error {
+	if p == nil {
+		return nil
+	}
+	for v := range p.Nodes {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("fault: plan names node %d outside %s (N=%d)", v, g.Name(), g.N())
+		}
+	}
+	for _, links := range []map[topology.Edge]bool{p.Links, p.Noisy} {
+		for e := range links {
+			if !g.HasEdge(e.U, e.V) {
+				return fmt.Errorf("fault: plan names link {%d,%d} that is not an edge of %s", e.U, e.V, g.Name())
+			}
+		}
+	}
+	return nil
 }
 
 // FaultyNodes returns the sorted list of non-healthy nodes.
@@ -177,6 +219,9 @@ func (p *Plan) TraceRoute(route []topology.Node, channel int) []CopyFate {
 			state = Lost
 			fates[k] = Lost
 			continue
+		}
+		if p.LinkNoisy(route[k-1], route[k]) {
+			state = Corrupted
 		}
 		// The copy reaches route[k] in the current state; the node's own
 		// fault affects only what it relays onward.

@@ -94,7 +94,10 @@ func Broadcast(x *core.IHC, msgs [][]byte, p simnet.Params, eta, bFIFO int, kr *
 				Payload: frags[s][fi],
 			}
 			if kr != nil {
-				signed := kr.Sign(reliable.Message{Source: topology.Node(s), Payload: pkt.Payload})
+				signed, err := kr.Sign(reliable.Message{Source: topology.Node(s), Payload: pkt.Payload})
+				if err != nil {
+					return nil, fmt.Errorf("message: round %d source %d: %w", round, s, err)
+				}
 				pkt.MAC = signed.MAC
 			}
 			wire, err := pkt.Encode()
@@ -112,12 +115,15 @@ func Broadcast(x *core.IHC, msgs [][]byte, p simnet.Params, eta, bFIFO int, kr *
 						return nil, fmt.Errorf("message: decode: %w", err)
 					}
 					if kr != nil {
-						ok := kr.Verify(reliable.Message{
+						// A wire-decoded header may claim any source id; an
+						// out-of-keyring claim is rejected like a bad MAC
+						// rather than aborting the whole broadcast.
+						ok, err := kr.Verify(reliable.Message{
 							Source:  topology.Node(got.Header.Source),
 							Payload: got.Payload,
 							MAC:     got.MAC,
 						})
-						if !ok {
+						if err != nil || !ok {
 							res.Rejected++
 							continue
 						}

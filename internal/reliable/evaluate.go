@@ -34,6 +34,13 @@ func (o Outcome) CorrectFraction() float64 {
 // the relay cannot forge the source's MAC); copies through Crash nodes or
 // broken links are lost.
 func EvaluateIHC(x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) Outcome {
+	// A plan naming nonexistent nodes or links would grade as vacuously
+	// healthy (no route ever meets the phantom fault); that's a caller
+	// bug, and EvaluateIHC's signature has no error channel, so it is
+	// loud about it. Pre-check with plan.Validate to avoid the panic.
+	if err := plan.Validate(x.Graph()); err != nil {
+		panic("reliable: EvaluateIHC: " + err.Error())
+	}
 	n := x.N()
 	gamma := x.Gamma()
 	// copies[recv][src] collects the copies each receiver got.
@@ -65,22 +72,38 @@ func EvaluateIHC(x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) Outcom
 				}
 				if signed && kr != nil && cp.Valid {
 					// Round-trip through real MACs to exercise the crypto
-					// path rather than trusting the Valid flag.
-					msg := kr.Sign(Message{Source: src, Payload: cp.Payload})
-					cp.Valid = kr.Verify(msg)
+					// path rather than trusting the Valid flag. Sources come
+					// from the cycle, so they are always keyed; an error here
+					// means the keyring is sized for a different graph.
+					msg, err := kr.Sign(Message{Source: src, Payload: cp.Payload})
+					if err == nil {
+						cp.Valid, err = kr.Verify(msg)
+					}
+					if err != nil {
+						panic("reliable: EvaluateIHC: " + err.Error())
+					}
 				}
 				copies[recv][src] = append(copies[recv][src], cp)
 			}
 		}
 	}
 
+	return gradeCopies(n, copies, signed, func(v topology.Node) bool {
+		return plan.Node(v) != fault.Healthy
+	})
+}
+
+// gradeCopies applies the selected voter at every fault-free receiver for
+// every fault-free source and tallies the outcomes against the truth —
+// the shared back half of the combinatorial and timed evaluators.
+func gradeCopies(n int, copies [][][]Copy, signed bool, faulty func(topology.Node) bool) Outcome {
 	var out Outcome
 	for r := 0; r < n; r++ {
-		if plan.Node(topology.Node(r)) != fault.Healthy {
+		if faulty(topology.Node(r)) {
 			continue
 		}
 		for s := 0; s < n; s++ {
-			if r == s || plan.Node(topology.Node(s)) != fault.Healthy {
+			if r == s || faulty(topology.Node(s)) {
 				continue
 			}
 			out.Pairs++

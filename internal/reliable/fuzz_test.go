@@ -1,0 +1,114 @@
+package reliable
+
+import (
+	"bytes"
+	"testing"
+
+	"ihc/internal/topology"
+)
+
+// copiesFromRaw deterministically splits fuzzer-provided bytes into a
+// slice of copies: the first byte of each 4-byte chunk is the validity
+// bit, the rest the payload. Tiny payload alphabet (3 values) maximizes
+// vote collisions, which is where the voter logic lives.
+func copiesFromRaw(raw []byte) []Copy {
+	var out []Copy
+	for i := 0; i+3 < len(raw); i += 4 {
+		out = append(out, Copy{
+			Valid:   raw[i]%2 == 0,
+			Payload: []byte{raw[i+1] % 3, raw[i+2] % 3},
+		})
+	}
+	return out
+}
+
+// FuzzVoteUnsigned checks the unsigned voter's contract on arbitrary
+// copy multisets: a decision is always a strict plurality payload, and
+// no decision means no strict plurality exists.
+func FuzzVoteUnsigned(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{1, 0, 0, 0, 0, 1, 1, 1, 0, 2, 2, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		copies := copiesFromRaw(raw)
+		payload, ok := VoteUnsigned(copies)
+		counts := map[string]int{}
+		for _, c := range copies {
+			counts[string(c.Payload)]++
+		}
+		best, second := 0, 0
+		for _, n := range counts {
+			switch {
+			case n > best:
+				best, second = n, best
+			case n > second:
+				second = n
+			}
+		}
+		if ok {
+			if got := counts[string(payload)]; got != best || best == second || best == 0 {
+				t.Fatalf("decided %v with count %d (best=%d second=%d) over %v", payload, got, best, second, copies)
+			}
+		} else if best > second {
+			t.Fatalf("refused to decide despite strict plurality (best=%d second=%d) over %v", best, second, copies)
+		}
+
+		// Signed voter: a decision must come from a valid copy and every
+		// valid copy must agree with it.
+		sp, sok := VoteSigned(copies)
+		anyValid := false
+		for _, c := range copies {
+			if c.Valid {
+				anyValid = true
+				if sok && !bytes.Equal(sp, c.Payload) {
+					t.Fatalf("signed decision %v disagrees with valid copy %v", sp, c.Payload)
+				}
+			}
+		}
+		if sok && !anyValid {
+			t.Fatalf("signed voter decided %v with no valid copies", sp)
+		}
+	})
+}
+
+// FuzzKeyringVerify drives the MAC verify path with arbitrary claimed
+// sources, payloads, and MACs: Verify must never panic, out-of-keyring
+// sources must error, a signed message must round-trip, and any payload
+// or MAC perturbation must be rejected.
+func FuzzKeyringVerify(f *testing.F) {
+	f.Add(int64(1), int8(0), []byte("hello"), []byte{})
+	f.Add(int64(7), int8(-5), []byte{}, bytes.Repeat([]byte{0xaa}, 32))
+	f.Add(int64(0), int8(120), []byte("x"), []byte("not a mac"))
+	f.Fuzz(func(t *testing.T, seed int64, src int8, payload, mac []byte) {
+		kr := NewKeyring(8, seed)
+		msg := Message{Source: topology.Node(src), Payload: payload, MAC: mac}
+		ok, err := kr.Verify(msg)
+		if src < 0 || src >= 8 {
+			if err == nil {
+				t.Fatalf("source %d outside 8-node keyring verified without error (ok=%v)", src, ok)
+			}
+			if _, err := kr.Sign(msg); err == nil {
+				t.Fatalf("source %d outside 8-node keyring signed without error", src)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range source %d errored: %v", src, err)
+		}
+		signed, err := kr.Sign(Message{Source: topology.Node(src), Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok2, err := kr.Verify(signed); err != nil || !ok2 {
+			t.Fatalf("genuine signed message rejected (ok=%v err=%v)", ok2, err)
+		}
+		if ok && !bytes.Equal(mac, signed.MAC) {
+			t.Fatalf("verified a MAC that is not the genuine one for this payload")
+		}
+		tampered := signed
+		tampered.Payload = append(append([]byte{}, payload...), 0x01)
+		if ok2, err := kr.Verify(tampered); err != nil || ok2 {
+			t.Fatalf("extended payload accepted (ok=%v err=%v)", ok2, err)
+		}
+	})
+}

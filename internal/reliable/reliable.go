@@ -49,23 +49,45 @@ func NewKeyring(n int, seed int64) *Keyring {
 	return kr
 }
 
-// Sign returns msg with its MAC filled in under the source's key.
-func (kr *Keyring) Sign(msg Message) Message {
-	mac := hmac.New(sha256.New, kr.keys[msg.Source])
-	mac.Write(msg.Payload)
-	msg.MAC = mac.Sum(nil)
-	return msg
+// N returns the number of nodes the keyring holds keys for.
+func (kr *Keyring) N() int { return len(kr.keys) }
+
+// checkSource rejects source ids the keyring has no key for. A malformed
+// message used to panic with a bare index error deep inside HMAC setup;
+// it now surfaces as a diagnosable error, which matters once messages can
+// arrive from a simulated Byzantine sender claiming an arbitrary source.
+func (kr *Keyring) checkSource(msg Message) error {
+	if msg.Source < 0 || int(msg.Source) >= len(kr.keys) {
+		return fmt.Errorf("reliable: message claims source %d, keyring holds keys for nodes [0,%d)", msg.Source, len(kr.keys))
+	}
+	return nil
 }
 
-// Verify reports whether msg's MAC is valid under its claimed source's
-// key.
-func (kr *Keyring) Verify(msg Message) bool {
-	if msg.MAC == nil {
-		return false
+// Sign returns msg with its MAC filled in under the source's key, or an
+// error when the keyring has no key for the claimed source.
+func (kr *Keyring) Sign(msg Message) (Message, error) {
+	if err := kr.checkSource(msg); err != nil {
+		return Message{}, err
 	}
 	mac := hmac.New(sha256.New, kr.keys[msg.Source])
 	mac.Write(msg.Payload)
-	return hmac.Equal(mac.Sum(nil), msg.MAC)
+	msg.MAC = mac.Sum(nil)
+	return msg, nil
+}
+
+// Verify reports whether msg's MAC is valid under its claimed source's
+// key. A source outside the keyring is an error, not merely an invalid
+// signature: the caller sent a structurally malformed message.
+func (kr *Keyring) Verify(msg Message) (bool, error) {
+	if err := kr.checkSource(msg); err != nil {
+		return false, err
+	}
+	if msg.MAC == nil {
+		return false, nil
+	}
+	mac := hmac.New(sha256.New, kr.keys[msg.Source])
+	mac.Write(msg.Payload)
+	return hmac.Equal(mac.Sum(nil), msg.MAC), nil
 }
 
 // DolevBound returns the maximum number of Byzantine nodes tolerable for

@@ -24,22 +24,44 @@ func mustIHC(t *testing.T, g *topology.Graph) *core.IHC {
 	return x
 }
 
+// mustSign is the test-side helper for messages known to be in range.
+func mustSign(t *testing.T, kr *Keyring, msg Message) Message {
+	t.Helper()
+	out, err := kr.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustVerify(t *testing.T, kr *Keyring, msg Message) bool {
+	t.Helper()
+	ok, err := kr.Verify(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
 func TestKeyringSignVerify(t *testing.T) {
 	kr := NewKeyring(8, 42)
-	msg := kr.Sign(Message{Source: 3, Payload: []byte("hello")})
-	if !kr.Verify(msg) {
+	if kr.N() != 8 {
+		t.Fatalf("N() = %d, want 8", kr.N())
+	}
+	msg := mustSign(t, kr, Message{Source: 3, Payload: []byte("hello")})
+	if !mustVerify(t, kr, msg) {
 		t.Fatal("genuine message rejected")
 	}
 	tampered := msg
 	tampered.Payload = []byte("hellp")
-	if kr.Verify(tampered) {
+	if mustVerify(t, kr, tampered) {
 		t.Fatal("tampered payload accepted")
 	}
 	forged := Message{Source: 5, Payload: msg.Payload, MAC: msg.MAC}
-	if kr.Verify(forged) {
+	if mustVerify(t, kr, forged) {
 		t.Fatal("forged source accepted")
 	}
-	if kr.Verify(Message{Source: 1, Payload: []byte("x")}) {
+	if mustVerify(t, kr, Message{Source: 1, Payload: []byte("x")}) {
 		t.Fatal("unsigned message verified")
 	}
 	if msg.String() == "" {
@@ -47,13 +69,27 @@ func TestKeyringSignVerify(t *testing.T) {
 	}
 }
 
+// TestKeyringSourceBounds pins the satellite fix: an out-of-keyring source
+// is an error from both Sign and Verify, not an index panic.
+func TestKeyringSourceBounds(t *testing.T) {
+	kr := NewKeyring(8, 42)
+	for _, src := range []topology.Node{-1, 8, 1000} {
+		if _, err := kr.Sign(Message{Source: src, Payload: []byte("x")}); err == nil {
+			t.Errorf("Sign accepted source %d in an 8-node keyring", src)
+		}
+		if _, err := kr.Verify(Message{Source: src, Payload: []byte("x"), MAC: make([]byte, 32)}); err == nil {
+			t.Errorf("Verify accepted source %d in an 8-node keyring", src)
+		}
+	}
+}
+
 func TestKeyringDeterministic(t *testing.T) {
-	a := NewKeyring(4, 7).Sign(Message{Source: 2, Payload: []byte("p")})
-	b := NewKeyring(4, 7).Sign(Message{Source: 2, Payload: []byte("p")})
+	a := mustSign(t, NewKeyring(4, 7), Message{Source: 2, Payload: []byte("p")})
+	b := mustSign(t, NewKeyring(4, 7), Message{Source: 2, Payload: []byte("p")})
 	if string(a.MAC) != string(b.MAC) {
 		t.Fatal("keyring not deterministic")
 	}
-	c := NewKeyring(4, 8).Sign(Message{Source: 2, Payload: []byte("p")})
+	c := mustSign(t, NewKeyring(4, 8), Message{Source: 2, Payload: []byte("p")})
 	if string(a.MAC) == string(c.MAC) {
 		t.Fatal("different seeds gave same MAC")
 	}

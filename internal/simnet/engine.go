@@ -127,6 +127,10 @@ type Options struct {
 	// intermediate storage and pays the queueing delay D, regardless of
 	// the actual transmitter state.
 	Saturated bool
+	// Fault, when non-nil, is consulted once per performed hop and may
+	// drop the copy or taint its payload (see FaultHook). Nil costs one
+	// predictable branch per event on the hot path.
+	Fault FaultHook
 }
 
 // runState is the working state of one Run. It lives inside a Scratch so
@@ -146,6 +150,7 @@ type runState struct {
 	unmet    [][]int32 // per spec: parents that have not yet delivered at Route[0]
 	ready    []Time    // per spec: latest parent delivery at Route[0]
 	started  []bool
+	corrupt  []bool // per spec: payload tainted by the fault hook (hook runs only)
 }
 
 // release drops the pointers a finished run would otherwise pin in the
@@ -226,6 +231,12 @@ func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 	clear(st.ready)
 	st.started = growBools(st.started, len(specs))
 	clear(st.started)
+	if opts.Fault != nil {
+		// Taint bits are grown and cleared only when a hook is installed;
+		// fault-free runs never touch the slice.
+		st.corrupt = growBools(st.corrupt, len(specs))
+		clear(st.corrupt)
+	}
 	if hasDeps {
 		for i, s := range specs {
 			for _, parent := range s.After {
@@ -425,6 +436,22 @@ func (st *runState) handle(ev event) {
 		}
 	}
 
+	// The fault hook sees the hop after its departure time is settled but
+	// before the link is acquired: a dropped copy never occupies the
+	// transmitter, schedules nothing downstream, and delivers nowhere.
+	// (The hop-kind counters above record the switching decision that was
+	// made; FaultDrops counts the hops canceled after that decision.)
+	if st.opts.Fault != nil {
+		switch st.opts.Fault.Relay(spec.ID, int(ev.hop), from, to, depart) {
+		case FaultDrop:
+			st.res.FaultDrops++
+			return
+		case FaultCorrupt:
+			st.corrupt[ev.pkt] = true
+			st.res.FaultTaints++
+		}
+	}
+
 	// Acquire the link for [depart, depart+μα].
 	l.freeAt = depart + pt
 	l.busy += pt
@@ -506,6 +533,9 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 		st.res.Copies.Add(node, id.Source)
 	}
 	if st.opts.RecordDeliveries {
-		st.res.Deliveriesv = append(st.res.Deliveriesv, Delivery{ID: id, Node: node, At: at})
+		st.res.Deliveriesv = append(st.res.Deliveriesv, Delivery{
+			ID: id, Node: node, At: at,
+			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
+		})
 	}
 }

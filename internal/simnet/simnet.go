@@ -162,6 +162,48 @@ type Delivery struct {
 	ID   PacketID
 	Node topology.Node
 	At   Time
+	// Corrupted marks a copy whose payload was tainted by a fault hook at
+	// some hop upstream of this receiver (always false without a hook).
+	Corrupted bool
+}
+
+// FaultAction is a fault hook's verdict for one performed hop.
+type FaultAction uint8
+
+const (
+	// FaultNone relays the copy faithfully.
+	FaultNone FaultAction = iota
+	// FaultCorrupt taints the packet's payload from this hop onward:
+	// every downstream delivery (including this hop's receiver) is
+	// recorded with Corrupted = true.
+	FaultCorrupt
+	// FaultDrop kills the copy before the hop is performed: the link is
+	// not acquired, nothing is delivered at the next node, and no further
+	// events are scheduled for the packet.
+	FaultDrop
+)
+
+// FaultHook injects faults into the engine's relay path. It is consulted
+// once per performed hop, immediately before the packet acquires the
+// outgoing link — after the departure time is known, so temporal plans
+// (a node that crashes mid-broadcast, a link that is down for a window
+// and then recovers) can decide from the simulated clock. A nil hook
+// costs one predictable branch per event; see internal/fault for the
+// standard implementation.
+//
+// Hooks are consulted only for hops that are actually performed; a
+// blocked virtual-cut-through attempt that falls back to buffering is
+// consulted once, when the buffered send finally departs. Dropping a
+// packet that later packets depend on (PacketSpec.After) leaves those
+// dependents uninjected, which Run reports as an error — temporal fault
+// injection is designed for dependency-free schedules like IHC's.
+type FaultHook interface {
+	// Relay decides the fate of the hop from→to of packet id. hop is the
+	// index of `from` along the packet's route (0 = source injection; the
+	// conventional fault models apply node relay faults only at hop >= 1,
+	// matching fault.Plan.TraceRoute, where a source's own fault is the
+	// caller's concern). depart is the header departure time at `from`.
+	Relay(id PacketID, hop int, from, to topology.Node, depart Time) FaultAction
 }
 
 // HopKind classifies how a hop was performed.
@@ -210,6 +252,8 @@ type Result struct {
 	Injections   int  // packets injected
 	Events       int  // simulator events processed by the run
 	LinkBusy     Time // total busy time summed over all links (broadcast traffic only)
+	FaultDrops   int  // hops canceled by the fault hook (copy killed in flight)
+	FaultTaints  int  // hops at which the fault hook corrupted a payload
 	Copies       *CopyMatrix
 	Traces       map[PacketID][]Hop // populated only when Options.Trace
 	Deliveriesv  []Delivery         // populated only when Options.RecordDeliveries
