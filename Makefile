@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine bench-fault fuzz verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine recovery-quick verify
 
 all: verify
 
@@ -34,12 +34,27 @@ bench-engine:
 bench-fault:
 	$(GO) run ./cmd/faultcamp -o BENCH_fault.json
 
-# Short fuzz smoke over the voter and the MAC verify path (the two
-# spots that take adversarial bytes), mirroring the CI budget.
+# Short fuzz smoke over the voter, the MAC verify path, and the
+# temporal-plan validator/compiler (the spots that take adversarial
+# bytes or adversarial plans), mirroring the CI budget.
 fuzz:
 	$(GO) test -fuzz=FuzzVoteUnsigned -fuzztime=15s ./internal/reliable
 	$(GO) test -fuzz=FuzzKeyringVerify -fuzztime=15s ./internal/reliable
+	$(GO) test -fuzz=FuzzTemporalPlan -fuzztime=15s ./internal/fault
+
+# Engine-regression smoke: one measured Q10 ATA run; fails if
+# allocs/event exceeds 10x the value recorded in BENCH_engine.json
+# (the event loop must stay allocation-free even with the repair
+# controller layer compiled in).
+smoke-engine:
+	$(GO) run ./cmd/enginebench -quick -check -o /dev/null
+
+# Quick self-healing sweep: the repaired broken-link frontier must beat
+# the static γ bound on every topology (exits non-zero otherwise).
+recovery-quick:
+	$(GO) run ./cmd/ihcbench -quick -run recovery
 
 # The tier-1 gate: vet + build + tests, then the same tests under the
-# race detector (the parallel sweep executor must stay race-clean).
-verify: vet build test race
+# race detector (the parallel sweep executor must stay race-clean),
+# then the engine-allocation smoke and the quick recovery sweep.
+verify: vet build test race smoke-engine recovery-quick

@@ -4,6 +4,12 @@
 // (events/sec, ns/event, allocs/event), alongside the recorded
 // pre-flat-array baseline for comparison. `make bench-engine` writes
 // BENCH_engine.json at the repository root.
+//
+// -quick measures a single run instead of a calibrated benchmark loop
+// (seconds, for CI); -check compares the measured allocs/event against
+// the value recorded in the -against file and exits non-zero when it
+// regressed by more than 10x — the engine's allocation-free event loop
+// is an oracle this smoke keeps honest.
 package main
 
 import (
@@ -54,6 +60,9 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (\"-\" for stdout)")
+	quick := flag.Bool("quick", false, "single measured run instead of a calibrated benchmark loop")
+	check := flag.Bool("check", false, "fail if allocs/event exceeds 10x the value recorded in -against")
+	against := flag.String("against", "BENCH_engine.json", "recorded report -check compares against")
 	flag.Parse()
 
 	g := topology.Hypercube(10)
@@ -67,35 +76,61 @@ func main() {
 	}
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 
-	var events int
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if res.Contentions != 0 {
-				b.Fatal("contention in dedicated run")
-			}
-			events = res.Events
+	var cur metrics
+	runs := 1
+	if *quick {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			fail(err)
 		}
-	})
-
-	total := float64(events) * float64(r.N)
-	cur := metrics{
-		EventsPerRun:   events,
-		EventsPerSec:   total / r.T.Seconds(),
-		NsPerEvent:     float64(r.T.Nanoseconds()) / total,
-		AllocsPerEvent: float64(r.MemAllocs) / total,
-		BytesPerEvent:  float64(r.MemBytes) / total,
+		if res.Contentions != 0 {
+			fail(fmt.Errorf("contention in dedicated run"))
+		}
+		total := float64(res.Events)
+		cur = metrics{
+			EventsPerRun:   res.Events,
+			EventsPerSec:   total / elapsed.Seconds(),
+			NsPerEvent:     float64(elapsed.Nanoseconds()) / total,
+			AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / total,
+			BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+		}
+	} else {
+		var events int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Contentions != 0 {
+					b.Fatal("contention in dedicated run")
+				}
+				events = res.Events
+			}
+		})
+		runs = r.N
+		total := float64(events) * float64(r.N)
+		cur = metrics{
+			EventsPerRun:   events,
+			EventsPerSec:   total / r.T.Seconds(),
+			NsPerEvent:     float64(r.T.Nanoseconds()) / total,
+			AllocsPerEvent: float64(r.MemAllocs) / total,
+			BytesPerEvent:  float64(r.MemBytes) / total,
+		}
 	}
 	rep := report{
 		Benchmark: "EngineQ10ATA",
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		GoMaxProc: runtime.GOMAXPROCS(0),
-		Runs:      r.N,
+		Runs:      runs,
 		Current:   cur,
 		Baseline:  baseline,
 		Speedup:   cur.EventsPerSec / baseline.EventsPerSec,
@@ -115,6 +150,38 @@ func main() {
 	}
 	fmt.Printf("EngineQ10ATA: %.3g events/s, %.1f ns/event, %.2g allocs/event (%.2fx baseline) -> %s\n",
 		cur.EventsPerSec, cur.NsPerEvent, cur.AllocsPerEvent, rep.Speedup, *out)
+
+	if *check {
+		if err := checkAllocs(cur, *against); err != nil {
+			fail(err)
+		}
+		fmt.Printf("enginebench: allocs/event %.3g within 10x of recorded — ok\n", cur.AllocsPerEvent)
+	}
+}
+
+// checkAllocs is the regression gate: the measured allocs/event must
+// stay within 10x of the recorded report's value. The flat-array engine
+// allocates only per-run scratch, so a leak into the per-event hot path
+// multiplies this figure by orders of magnitude and trips the gate long
+// before it shows up in wall-clock noise.
+func checkAllocs(cur metrics, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check: reading recorded report: %w", err)
+	}
+	var rec report
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return fmt.Errorf("check: parsing %s: %w", path, err)
+	}
+	if rec.Current.AllocsPerEvent <= 0 {
+		return fmt.Errorf("check: %s records non-positive allocs/event %g", path, rec.Current.AllocsPerEvent)
+	}
+	limit := 10 * rec.Current.AllocsPerEvent
+	if cur.AllocsPerEvent > limit {
+		return fmt.Errorf("check: allocs/event regressed: measured %g > limit %g (10x recorded %g in %s)",
+			cur.AllocsPerEvent, limit, rec.Current.AllocsPerEvent, path)
+	}
+	return nil
 }
 
 func fail(err error) {

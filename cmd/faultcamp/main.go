@@ -13,6 +13,7 @@
 //	faultcamp                          # sq4,q4,q6,h3 at full budget
 //	faultcamp -quick                   # smaller budgets (seconds)
 //	faultcamp -topo sq4,h3 -samples 20000
+//	faultcamp -repair                  # also sweep the self-healing frontier
 //	faultcamp -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -43,10 +44,18 @@ type report struct {
 	Samples          int                  `json:"samples"`
 	Seed             int64                `json:"seed"`
 	Frontiers        []*campaign.Frontier `json:"frontiers"`
+	Repaired         []repairedFrontier   `json:"repaired_frontiers,omitempty"`
 	TotalPlacements  int                  `json:"total_placements"`
 	ElapsedSec       float64              `json:"elapsed_sec"`
 	PlacementsPerSec float64              `json:"placements_per_sec"`
 	Violations       []string             `json:"bound_violations,omitempty"`
+}
+
+type repairedFrontier struct {
+	Topo    string                     `json:"topo"`
+	Gamma   int                        `json:"gamma"`
+	MaxSafe int                        `json:"max_safe"`
+	Reports []*campaign.RepairedReport `json:"reports"`
 }
 
 func main() {
@@ -57,6 +66,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "campaign seed (sampling and Byzantine coins)")
 		workers = flag.Int("workers", 0, "frontier series run concurrently (0 = GOMAXPROCS)")
 		quick   = flag.Bool("quick", false, "shrink budgets so the campaign runs in seconds")
+		repairF = flag.Bool("repair", false, "also sweep the broken-link frontier with the self-healing layer on; fail unless it beats the static γ bound")
 		out     = flag.String("o", "BENCH_fault.json", "output file (\"-\" for stdout)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -82,6 +92,11 @@ func main() {
 		tMax int
 	}
 	var jobs []job
+	type topoIHC struct {
+		name string
+		x    *core.IHC
+	}
+	var repairTargets []topoIHC
 	for _, name := range strings.Split(*topos, ",") {
 		g, err := parseTopo(strings.TrimSpace(name))
 		if err != nil {
@@ -96,6 +111,7 @@ func main() {
 			fail(err)
 		}
 		gamma := x.Gamma()
+		repairTargets = append(repairTargets, topoIHC{g.Name(), x})
 		for _, s := range []struct {
 			signed bool
 			domain campaign.Domain
@@ -152,6 +168,32 @@ func main() {
 		Frontiers:  frontiers,
 		ElapsedSec: time.Since(start).Seconds(),
 	}
+	if *repairF {
+		// Each repaired placement costs a full engine simulation plus a
+		// baseline run, so the repaired sweep gets its own small budget.
+		rcfg := campaign.Search{Budget: 60, Samples: 40}
+		if *quick {
+			rcfg = campaign.Search{Budget: 30, Samples: 15}
+		}
+		for _, tgt := range repairTargets {
+			gamma := tgt.x.Gamma()
+			reports, maxSafe, err := campaign.RepairedFrontier(tgt.x, gamma+1, rcfg, *seed)
+			if err != nil {
+				fail(err)
+			}
+			rep.Repaired = append(rep.Repaired, repairedFrontier{
+				Topo: tgt.name, Gamma: gamma, MaxSafe: maxSafe, Reports: reports,
+			})
+			for _, r := range reports {
+				rep.TotalPlacements += r.Placements
+			}
+			if maxSafe <= gamma {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s repaired max_safe=%d does not beat static bound γ=%d", tgt.name, maxSafe, gamma))
+			}
+		}
+		rep.ElapsedSec = time.Since(start).Seconds()
+	}
 	for _, f := range frontiers {
 		for _, r := range f.Reports {
 			rep.TotalPlacements += r.Placements
@@ -188,6 +230,10 @@ func main() {
 		}
 		fmt.Printf("%-4s %-5s %-9s signed=%-5v bound=%d max_safe=%d min_broken=%s\n",
 			f.Topo, f.Domain, f.Kind, f.Signed, f.Bound, f.MaxSafe, broken)
+	}
+	for _, rf := range rep.Repaired {
+		fmt.Printf("%-4s repaired broken-link frontier: γ=%d max_safe=%d (static bound beaten: %v)\n",
+			rf.Topo, rf.Gamma, rf.MaxSafe, rf.MaxSafe > rf.Gamma)
 	}
 	fmt.Printf("faultcamp: %d placements in %.1fs (%.3g placements/s) on %d worker(s) -> %s\n",
 		rep.TotalPlacements, rep.ElapsedSec, rep.PlacementsPerSec, w, *out)

@@ -36,7 +36,10 @@ func main() {
 	gamma := x.Gamma()
 	kr := reliable.NewKeyring(n, 2024)
 
-	plan := fault.RandomNodeFaults(n, tFaults, fault.Corrupt, 5)
+	plan, err := fault.RandomNodeFaults(n, tFaults, fault.Corrupt, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("network %s, γ = %d, signed messages, %d corrupt relays: %v\n",
 		x.Graph(), gamma, tFaults, plan.FaultyNodes())
 	fmt.Printf("signed-message fault bound: t <= γ-1 = %d (unsigned Dolev bound would be %d)\n",
@@ -44,7 +47,10 @@ func main() {
 
 	// Run the ATA broadcast under the fault plan and grade it with the
 	// signed voter at every fault-free receiver.
-	out := reliable.EvaluateIHC(x, plan, true, kr)
+	out, err := reliable.EvaluateIHC(x, plan, true, kr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fault-free ordered pairs: %d; decided correctly: %d; wrong: %d; undecided: %d\n",
 		out.Pairs, out.Correct, out.Wrong, out.Missing)
 
@@ -72,7 +78,10 @@ func main() {
 	// one direction of each undirected cycle).
 	one := fault.NewPlan(1)
 	one.Nodes[7] = fault.Corrupt
-	o1 := reliable.EvaluateIHC(x, one, true, kr)
+	o1, err := reliable.EvaluateIHC(x, one, true, kr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if o1.Correct != o1.Pairs {
 		log.Fatal("single-fault tolerance violated")
 	}
@@ -80,7 +89,10 @@ func main() {
 
 	// Contrast: the same fault plan without signatures. With t beyond
 	// the Dolev bound, unsigned majority voting can be defeated.
-	u := reliable.EvaluateIHC(x, plan, false, nil)
+	u, err := reliable.EvaluateIHC(x, plan, false, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("without signatures the same faults leave only %.1f%% of pairs correct (%d wrong, %d undecided)\n",
 		100*u.CorrectFraction(), u.Wrong, u.Missing)
 	if u.Correct == u.Pairs {
@@ -90,7 +102,10 @@ func main() {
 	// And a two-faced proposer: signed receivers detect the inconsistency.
 	twoFaced := fault.NewPlan(9)
 	twoFaced.Nodes[3] = fault.Byzantine
-	o := reliable.EvaluateIHC(x, twoFaced, true, kr)
+	o, err := reliable.EvaluateIHC(x, twoFaced, true, kr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("two-faced proposer (node 3): fault-free pairs all correct: %v\n", o.Correct == o.Pairs)
 	_ = topology.Node(0)
 }

@@ -44,7 +44,10 @@ func main() {
 		clocks[i] = 1_000_000 + rng.Float64()*initSkew
 	}
 	// Byzantine nodes (their clocks are graded out of the skew metric).
-	plan := fault.RandomNodeFaults(n, tByzantine, fault.Byzantine, 3)
+	plan, err := fault.RandomNodeFaults(n, tByzantine, fault.Byzantine, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	isFaulty := func(v int) bool { return plan.Node(topology.Node(v)) != fault.Healthy }
 	fmt.Printf("network %s, %d Byzantine node(s): %v\n", x.Graph(), tByzantine, plan.FaultyNodes())
 	fmt.Printf("round  max skew among fault-free nodes (µs)\n")

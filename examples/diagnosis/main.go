@@ -33,7 +33,10 @@ func main() {
 	g := x.Graph()
 	n := g.N()
 
-	plan := fault.RandomNodeFaults(n, tFaults, fault.Byzantine, 11)
+	plan, err := fault.RandomNodeFaults(n, tFaults, fault.Byzantine, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
 	truth := make([]bool, n) // true = faulty
 	for _, v := range plan.FaultyNodes() {
 		truth[v] = true

@@ -92,10 +92,10 @@ func (pt Point) name() string {
 // full grade costs O(N²·γ·t). Agreement with reliable.EvaluateIHC is
 // pinned by tests and spot-checked during campaign runs.
 type grader struct {
-	x     *core.IHC
-	n     int
-	gamma int
-	seed  int64
+	x       *core.IHC
+	n       int
+	gamma   int
+	seed    int64
 	pos     [][]int32 // pos[j][v] = position of v on directed cycle j
 	edges   []topology.Edge
 	edgeIdx map[topology.Edge]int

@@ -54,7 +54,10 @@ func TestGraderMatchesEvaluateIHC(t *testing.T) {
 				sampleSubset(rng, size, elems)
 				for _, signed := range []bool{false, true} {
 					got := gr.grade(elems, c.domain, c.kind, signed)
-					want := reliable.EvaluateIHC(x, gr.buildPlan(elems, c.domain, c.kind), signed, kr)
+					want, err := reliable.EvaluateIHC(x, gr.buildPlan(elems, c.domain, c.kind), signed, kr)
+					if err != nil {
+						t.Fatal(err)
+					}
 					if got != want {
 						t.Fatalf("%s %v/%v signed=%v elems=%v: grader %+v != EvaluateIHC %+v",
 							g.Name(), c.domain, c.kind, signed, elems, got, want)
@@ -241,12 +244,19 @@ func TestShrinkIsOneMinimal(t *testing.T) {
 	if len(shrunk) >= len(fat) {
 		t.Fatalf("shrink did not shrink: %d -> %d", len(fat), len(shrunk))
 	}
-	if out := reliable.EvaluateIHC(x, gr.buildPlan(shrunk, DomainLinks, fault.Corrupt), false, nil); !violates(out) {
+	out, err := reliable.EvaluateIHC(x, gr.buildPlan(shrunk, DomainLinks, fault.Corrupt), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violates(out) {
 		t.Fatalf("shrunk placement no longer violates: %+v", out)
 	}
 	for i := range shrunk {
 		sub := append(append([]int(nil), shrunk[:i]...), shrunk[i+1:]...)
-		out := reliable.EvaluateIHC(x, gr.buildPlan(sub, DomainLinks, fault.Corrupt), false, nil)
+		out, err := reliable.EvaluateIHC(x, gr.buildPlan(sub, DomainLinks, fault.Corrupt), false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if violates(out) {
 			t.Fatalf("dropping element %d still violates — counterexample not 1-minimal", shrunk[i])
 		}

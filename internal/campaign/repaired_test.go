@@ -1,0 +1,51 @@
+package campaign
+
+import (
+	"testing"
+
+	"ihc/internal/topology"
+)
+
+// TestRepairedFrontierBeatsStaticBound is the tentpole acceptance
+// criterion: with repair enabled, the broken-link tolerance frontier on
+// SQ4 strictly exceeds the static masking bound γ. The static campaign
+// (TestBrokenLinkFrontier) finds violating placements at exactly γ; here
+// every connected placement at γ — and at γ+1 — must still deliver every
+// pair after NAK-driven retransmission over patched routes.
+func TestRepairedFrontierBeatsStaticBound(t *testing.T) {
+	x := mustIHC(t, topology.SquareTorus(4))
+	gamma := x.Gamma()
+	cfg := Search{Budget: 40, Samples: 25}
+	reports, maxSafe, err := RepairedFrontier(x, gamma+1, cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSafe <= gamma {
+		t.Fatalf("repaired MaxSafe = %d, want > γ = %d (reports: %+v)", maxSafe, gamma, reports)
+	}
+	for _, rep := range reports {
+		if rep.Violations > 0 {
+			t.Fatalf("t=%d: %d violations, counterexample %v", rep.T, rep.Violations, rep.Counterexample)
+		}
+		if rep.Placements == 0 {
+			t.Fatalf("t=%d: every placement screened out (%d partitioned)", rep.T, rep.PartitionedSkipped)
+		}
+	}
+	// At t = γ the adversary CAN partition (edge connectivity is γ), so
+	// the screen must have something to do by then across the walk.
+	last := reports[len(reports)-1]
+	if last.T >= gamma && last.PartitionedSkipped == 0 && last.Exhaustive {
+		t.Fatalf("t=%d exhaustive with no partitioned placements — screen suspect", last.T)
+	}
+}
+
+// TestRunRepairedPointRange pins argument validation.
+func TestRunRepairedPointRange(t *testing.T) {
+	x := mustIHC(t, topology.SquareTorus(4))
+	if _, err := RunRepairedPoint(x, -1, DefaultSearch(), 1); err == nil {
+		t.Fatal("negative t accepted")
+	}
+	if _, err := RunRepairedPoint(x, x.Graph().M()+1, DefaultSearch(), 1); err == nil {
+		t.Fatal("t beyond edge count accepted")
+	}
+}

@@ -133,7 +133,10 @@ func RunPoint(pt Point, cfg Search) (*Report, error) {
 		graded++
 		out := gr.grade(elems, pt.Domain, pt.Kind, pt.Signed)
 		if cfg.CrossCheck > 0 && graded%cfg.CrossCheck == 1 {
-			ref := reliable.EvaluateIHC(pt.X, gr.buildPlan(elems, pt.Domain, pt.Kind), pt.Signed, kr)
+			ref, err := reliable.EvaluateIHC(pt.X, gr.buildPlan(elems, pt.Domain, pt.Kind), pt.Signed, kr)
+			if err != nil {
+				return fmt.Errorf("campaign: cross-check: %w", err)
+			}
 			if ref != out {
 				return fmt.Errorf("campaign: grader disagrees with EvaluateIHC on %s %v: %+v vs %+v",
 					pt.name(), gr.describe(elems, pt.Domain), out, ref)
@@ -192,7 +195,10 @@ func RunPoint(pt Point, cfg Search) (*Report, error) {
 		rep.Counterexample = gr.describe(shrunk, pt.Domain)
 		rep.CounterexampleT = len(shrunk)
 		plan := gr.buildPlan(shrunk, pt.Domain, pt.Kind)
-		out := reliable.EvaluateIHC(pt.X, plan, pt.Signed, kr)
+		out, err := reliable.EvaluateIHC(pt.X, plan, pt.Signed, kr)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: counterexample grading: %w", err)
+		}
 		rep.CounterexampleOutcome = &out
 		timed, err := reliable.EvaluateTimed(pt.X, fault.FromStatic(plan), pt.Signed, kr, core.Config{})
 		if err != nil {

@@ -227,6 +227,17 @@ type Config struct {
 	// across all stages into Result.Deliveriesv, in simulation order
 	// within each stage run. Required by the timed reliability grader.
 	RecordDeliveries bool
+	// Control attaches an online controller to every stage's simulation
+	// run (see simnet.Controller): it observes deliveries, sets timers,
+	// and may inject recovery traffic mid-stage. The repair layer's
+	// Manager is the canonical implementation. Nil is the fast path.
+	Control simnet.Controller
+	// PatchRoutes, when non-nil, is handed each stage's packet specs
+	// before the stage is simulated and may replace individual Route
+	// slices (never modify them in place — they alias shared backing
+	// storage). The repair layer uses it to detour subsequent stages
+	// around links it has diagnosed dead.
+	PatchRoutes func(specs []simnet.PacketSpec)
 }
 
 // Result aggregates an ATA broadcast execution.
@@ -242,8 +253,8 @@ type Result struct {
 	Deliveries   int
 	Events       int // simulator events processed across all stage runs
 	LinkBusy     simnet.Time
-	FaultDrops   int // copies killed in flight by the fault hook
-	FaultTaints  int // payload corruptions injected by the fault hook
+	FaultDrops   int                // copies killed in flight by the fault hook
+	FaultTaints  int                // payload corruptions injected by the fault hook
 	Copies       *simnet.CopyMatrix // nil when SkipCopies
 	Deliveriesv  []simnet.Delivery  // populated only when RecordDeliveries
 }
@@ -316,6 +327,7 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 		Saturated:        cfg.Saturated,
 		Fault:            cfg.Fault,
 		RecordDeliveries: cfg.RecordDeliveries,
+		Control:          cfg.Control,
 	}
 	overlapLead := simnet.Time(0)
 	if cfg.Overlap {
@@ -335,6 +347,9 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				if cfg.PatchRoutes != nil {
+					cfg.PatchRoutes(specs)
+				}
 				r, err := net.RunScratch(specs, opts, cfg.Scratch)
 				if err != nil {
 					return nil, err
@@ -352,6 +367,9 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 		specs, err := x.StagePackets(cycles, i, cfg.Eta, start, cfg.Skew)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.PatchRoutes != nil {
+			cfg.PatchRoutes(specs)
 		}
 		r, err := net.RunScratch(specs, opts, cfg.Scratch)
 		if err != nil {

@@ -140,10 +140,11 @@ func (p *Plan) FaultyNodes() []topology.Node {
 // RandomNodeFaults returns a plan with t distinct faulty nodes of the
 // given kind, drawn deterministically from seed, chosen among nodes
 // 0..n-1 excluding the nodes in exclude (e.g., a source/receiver pair
-// whose correctness is under study).
-func RandomNodeFaults(n, t int, kind Kind, seed int64, exclude ...topology.Node) *Plan {
+// whose correctness is under study). It errors when t faults cannot fit
+// in the n-len(exclude) eligible nodes.
+func RandomNodeFaults(n, t int, kind Kind, seed int64, exclude ...topology.Node) (*Plan, error) {
 	if t < 0 || t > n-len(exclude) {
-		panic(fmt.Sprintf("fault: cannot place %d faults in %d nodes excluding %d", t, n, len(exclude)))
+		return nil, fmt.Errorf("fault: cannot place %d faults in %d nodes excluding %d", t, n, len(exclude))
 	}
 	p := NewPlan(seed)
 	rng := rand.New(rand.NewSource(seed))
@@ -158,14 +159,15 @@ func RandomNodeFaults(n, t int, kind Kind, seed int64, exclude ...topology.Node)
 		}
 		p.Nodes[v] = kind
 	}
-	return p
+	return p, nil
 }
 
-// RandomLinkFaults returns a plan with t distinct broken links of g.
-func RandomLinkFaults(g *topology.Graph, t int, seed int64) *Plan {
+// RandomLinkFaults returns a plan with t distinct broken links of g. It
+// errors when t exceeds the number of links.
+func RandomLinkFaults(g *topology.Graph, t int, seed int64) (*Plan, error) {
 	edges := g.Edges()
 	if t < 0 || t > len(edges) {
-		panic(fmt.Sprintf("fault: cannot break %d of %d links", t, len(edges)))
+		return nil, fmt.Errorf("fault: cannot break %d of %d links", t, len(edges))
 	}
 	p := NewPlan(seed)
 	rng := rand.New(rand.NewSource(seed))
@@ -173,7 +175,7 @@ func RandomLinkFaults(g *topology.Graph, t int, seed int64) *Plan {
 		e := edges[rng.Intn(len(edges))]
 		p.Links[e] = true
 	}
-	return p
+	return p, nil
 }
 
 // CopyFate describes what happened to one tee copy.

@@ -113,7 +113,10 @@ func TestByzantineDeterministic(t *testing.T) {
 }
 
 func TestRandomNodeFaults(t *testing.T) {
-	p := RandomNodeFaults(16, 5, Crash, 7, 0, 15)
+	p, err := RandomNodeFaults(16, 5, Crash, 7, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(p.FaultyNodes()) != 5 {
 		t.Fatalf("got %d faults", len(p.FaultyNodes()))
 	}
@@ -126,7 +129,10 @@ func TestRandomNodeFaults(t *testing.T) {
 		}
 	}
 	// Determinism.
-	q := RandomNodeFaults(16, 5, Crash, 7, 0, 15)
+	q, err := RandomNodeFaults(16, 5, Crash, 7, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, b := p.FaultyNodes(), q.FaultyNodes()
 	for i := range a {
 		if a[i] != b[i] {
@@ -135,18 +141,23 @@ func TestRandomNodeFaults(t *testing.T) {
 	}
 }
 
-func TestRandomNodeFaultsPanicsWhenImpossible(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	RandomNodeFaults(4, 4, Crash, 1, 0)
+// TestRandomNodeFaultsErrorsWhenImpossible pins the satellite fix: an
+// unsatisfiable request is an error, not a panic or an infinite loop.
+func TestRandomNodeFaultsErrorsWhenImpossible(t *testing.T) {
+	if _, err := RandomNodeFaults(4, 4, Crash, 1, 0); err == nil {
+		t.Fatal("no error placing 4 faults in 4 nodes with 1 excluded")
+	}
+	if _, err := RandomNodeFaults(8, -1, Crash, 1); err == nil {
+		t.Fatal("no error for negative fault count")
+	}
 }
 
 func TestRandomLinkFaults(t *testing.T) {
 	g := topology.Hypercube(3)
-	p := RandomLinkFaults(g, 4, 3)
+	p, err := RandomLinkFaults(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(p.Links) != 4 {
 		t.Fatalf("got %d broken links", len(p.Links))
 	}
@@ -154,6 +165,9 @@ func TestRandomLinkFaults(t *testing.T) {
 		if !g.HasEdge(e.U, e.V) {
 			t.Fatalf("broken non-edge %v", e)
 		}
+	}
+	if _, err := RandomLinkFaults(g, len(g.Edges())+1, 3); err == nil {
+		t.Fatal("no error breaking more links than exist")
 	}
 }
 

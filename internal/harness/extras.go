@@ -252,9 +252,20 @@ func runReliability(cfg Config) ([]*tablefmt.Table, error) {
 		c := cells[i]
 		var su, ss float64
 		for seed := int64(0); seed < trials; seed++ {
-			plan := fault.RandomNodeFaults(g.N(), c.tFaults, c.kind, seed*31+int64(c.tFaults))
-			su += reliable.EvaluateIHC(x, plan, false, nil).CorrectFraction()
-			ss += reliable.EvaluateIHC(x, plan, true, kr).CorrectFraction()
+			plan, err := fault.RandomNodeFaults(g.N(), c.tFaults, c.kind, seed*31+int64(c.tFaults))
+			if err != nil {
+				return row{}, err
+			}
+			ou, err := reliable.EvaluateIHC(x, plan, false, nil)
+			if err != nil {
+				return row{}, err
+			}
+			os, err := reliable.EvaluateIHC(x, plan, true, kr)
+			if err != nil {
+				return row{}, err
+			}
+			su += ou.CorrectFraction()
+			ss += os.CorrectFraction()
 		}
 		return row{c.tFaults, c.kind.String(), su / float64(trials), ss / float64(trials), bounds}, nil
 	})
@@ -294,7 +305,7 @@ func adversarialFrontier(cfg Config) (*tablefmt.Table, error) {
 		tMax   func(gamma int) int
 	}
 	all := []series{
-		{"noisy links, unsigned", false, campaign.DomainLinks, fault.Corrupt, func(g int) int { return (g+1)/2 }},
+		{"noisy links, unsigned", false, campaign.DomainLinks, fault.Corrupt, func(g int) int { return (g + 1) / 2 }},
 		{"noisy links, signed", true, campaign.DomainLinks, fault.Corrupt, func(g int) int { return g }},
 		{"crash nodes, unsigned", false, campaign.DomainNodes, fault.Crash, func(int) int { return 3 }},
 	}

@@ -1,6 +1,8 @@
 package reliable
 
 import (
+	"fmt"
+
 	"ihc/internal/core"
 	"ihc/internal/fault"
 	"ihc/internal/topology"
@@ -33,13 +35,12 @@ func (o Outcome) CorrectFraction() float64 {
 // Byzantine nodes are corrupted (with valid=false in signed mode, since
 // the relay cannot forge the source's MAC); copies through Crash nodes or
 // broken links are lost.
-func EvaluateIHC(x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) Outcome {
+func EvaluateIHC(x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) (Outcome, error) {
 	// A plan naming nonexistent nodes or links would grade as vacuously
 	// healthy (no route ever meets the phantom fault); that's a caller
-	// bug, and EvaluateIHC's signature has no error channel, so it is
-	// loud about it. Pre-check with plan.Validate to avoid the panic.
+	// bug, so it is reported rather than silently graded.
 	if err := plan.Validate(x.Graph()); err != nil {
-		panic("reliable: EvaluateIHC: " + err.Error())
+		return Outcome{}, fmt.Errorf("reliable: EvaluateIHC: %w", err)
 	}
 	n := x.N()
 	gamma := x.Gamma()
@@ -80,7 +81,7 @@ func EvaluateIHC(x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) Outcom
 						cp.Valid, err = kr.Verify(msg)
 					}
 					if err != nil {
-						panic("reliable: EvaluateIHC: " + err.Error())
+						return Outcome{}, fmt.Errorf("reliable: EvaluateIHC: %w", err)
 					}
 				}
 				copies[recv][src] = append(copies[recv][src], cp)
@@ -90,7 +91,7 @@ func EvaluateIHC(x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) Outcom
 
 	return gradeCopies(n, copies, signed, func(v topology.Node) bool {
 		return plan.Node(v) != fault.Healthy
-	})
+	}), nil
 }
 
 // gradeCopies applies the selected voter at every fault-free receiver for

@@ -24,6 +24,26 @@ func mustIHC(t *testing.T, g *topology.Graph) *core.IHC {
 	return x
 }
 
+// mustEval grades a plan that the test knows to be valid.
+func mustEval(t *testing.T, x *core.IHC, plan *fault.Plan, signed bool, kr *Keyring) Outcome {
+	t.Helper()
+	out, err := EvaluateIHC(x, plan, signed, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// mustNodeFaults draws a plan the test knows to be satisfiable.
+func mustNodeFaults(t *testing.T, n, tf int, kind fault.Kind, seed int64) *fault.Plan {
+	t.Helper()
+	p, err := fault.RandomNodeFaults(n, tf, kind, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // mustSign is the test-side helper for messages known to be in range.
 func mustSign(t *testing.T, kr *Keyring, msg Message) Message {
 	t.Helper()
@@ -159,7 +179,7 @@ func TestEvaluateFaultFree(t *testing.T) {
 	for _, g := range []*topology.Graph{topology.Hypercube(4), topology.HexMesh(3)} {
 		x := mustIHC(t, g)
 		for _, signed := range []bool{false, true} {
-			out := EvaluateIHC(x, fault.NewPlan(1), signed, NewKeyring(g.N(), 1))
+			out := mustEval(t, x, fault.NewPlan(1), signed, NewKeyring(g.N(), 1))
 			n := g.N()
 			if out.Pairs != n*(n-1) || out.Correct != out.Pairs || out.Wrong != 0 || out.Missing != 0 {
 				t.Fatalf("%s signed=%v: %+v", g.Name(), signed, out)
@@ -180,7 +200,7 @@ func TestSingleFaultAlwaysTolerated(t *testing.T) {
 			plan := fault.NewPlan(11)
 			plan.Nodes[v] = kind
 			signed := kind != fault.Corrupt && kind != fault.Byzantine
-			out := EvaluateIHC(x, plan, true, kr)
+			out := mustEval(t, x, plan, true, kr)
 			_ = signed
 			if out.Correct != out.Pairs {
 				t.Fatalf("node %d %v: %+v", v, kind, out)
@@ -202,9 +222,9 @@ func TestSignedBeatsUnsignedUnderCorruption(t *testing.T) {
 	worstUnsigned, worstSigned := 1.0, 1.0
 	anyUnsignedBad := false
 	for seed := int64(0); seed < 30; seed++ {
-		plan := fault.RandomNodeFaults(g.N(), 3, fault.Corrupt, seed)
-		u := EvaluateIHC(x, plan, false, nil)
-		s := EvaluateIHC(x, plan, true, kr)
+		plan := mustNodeFaults(t, g.N(), 3, fault.Corrupt, seed)
+		u := mustEval(t, x, plan, false, nil)
+		s := mustEval(t, x, plan, true, kr)
 		if u.CorrectFraction() < worstUnsigned {
 			worstUnsigned = u.CorrectFraction()
 		}
@@ -233,8 +253,8 @@ func TestCrashFailureMatchesStructure(t *testing.T) {
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 5)
 	for seed := int64(0); seed < 10; seed++ {
-		plan := fault.RandomNodeFaults(g.N(), 3, fault.Crash, seed)
-		out := EvaluateIHC(x, plan, true, kr)
+		plan := mustNodeFaults(t, g.N(), 3, fault.Crash, seed)
+		out := mustEval(t, x, plan, true, kr)
 		blocked := 0
 		for r := topology.Node(0); int(r) < g.N(); r++ {
 			for s := topology.Node(0); int(s) < g.N(); s++ {
@@ -265,7 +285,7 @@ func TestByzantineSourceDoesNotPolluteOthers(t *testing.T) {
 	kr := NewKeyring(g.N(), 9)
 	plan := fault.NewPlan(1)
 	plan.Nodes[5] = fault.Byzantine
-	out := EvaluateIHC(x, plan, true, kr)
+	out := mustEval(t, x, plan, true, kr)
 	if out.Correct != out.Pairs {
 		t.Fatalf("byzantine source disrupted fault-free pairs: %+v", out)
 	}
@@ -282,7 +302,7 @@ func TestSingleLinkFaultTolerated(t *testing.T) {
 	for _, e := range g.Edges() {
 		plan := fault.NewPlan(1)
 		plan.Links[e] = true
-		out := EvaluateIHC(x, plan, true, kr)
+		out := mustEval(t, x, plan, true, kr)
 		if out.Correct != out.Pairs {
 			t.Fatalf("link %v: %+v", e, out)
 		}
@@ -301,17 +321,17 @@ func TestQuickNestedCrashMonotone(t *testing.T) {
 	kr := NewKeyring(g.N(), 5)
 	f := func(seedRaw uint8) bool {
 		seed := int64(seedRaw)
-		p2 := fault.RandomNodeFaults(g.N(), 2, fault.Crash, seed)
+		p2 := mustNodeFaults(t, g.N(), 2, fault.Crash, seed)
 		p4 := fault.NewPlan(seed)
 		for v, k := range p2.Nodes {
 			p4.Nodes[v] = k
 		}
-		extra := fault.RandomNodeFaults(g.N(), 2, fault.Crash, seed+1000)
+		extra := mustNodeFaults(t, g.N(), 2, fault.Crash, seed+1000)
 		for v, k := range extra.Nodes {
 			p4.Nodes[v] = k
 		}
-		o2 := EvaluateIHC(x, p2, true, kr)
-		o4 := EvaluateIHC(x, p4, true, kr)
+		o2 := mustEval(t, x, p2, true, kr)
+		o4 := mustEval(t, x, p4, true, kr)
 		return o4.Correct <= o2.Correct
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(7))}); err != nil {

@@ -1,0 +1,67 @@
+package reliable
+
+import (
+	"testing"
+
+	"ihc/internal/core"
+	"ihc/internal/fault"
+	"ihc/internal/repair"
+	"ihc/internal/topology"
+)
+
+// TestRepairedFaultFree: no faults, repair on — the grade is perfect,
+// the repair layer is silent, and the overhead is exactly zero (the
+// fault-free repair-on run is byte-identical to the baseline).
+func TestRepairedFaultFree(t *testing.T) {
+	g := topology.SquareTorus(4)
+	x := mustIHC(t, g)
+	out, err := EvaluateRepaired(x, &fault.TemporalPlan{}, false, nil, core.Config{Eta: 2}, repair.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	if out.Pairs != n*(n-1) || out.Correct != out.Pairs {
+		t.Fatalf("fault-free repaired run: %+v", out.Outcome)
+	}
+	if out.Stats.Timeouts != 0 || out.Stats.Naks != 0 || out.Stats.Retransmissions != 0 {
+		t.Fatalf("repair activity without faults: %+v", out.Stats)
+	}
+	if out.OverheadPct != 0 {
+		t.Fatalf("fault-free overhead %.2f%%, want 0", out.OverheadPct)
+	}
+}
+
+// TestRepairedRecoversBrokenLink: a permanently dead link loses pairs
+// under EvaluateTimed but EvaluateRepaired restores a perfect grade,
+// and the recovery's latency cost is visible in OverheadPct.
+func TestRepairedRecoversBrokenLink(t *testing.T) {
+	g := topology.Hypercube(4)
+	x := mustIHC(t, g)
+	e := g.Edges()[0]
+	tp := &fault.TemporalPlan{
+		Links: []fault.LinkFault{{U: e.U, V: e.V, Until: fault.Forever}},
+	}
+	out, err := EvaluateRepaired(x, tp, false, nil, core.Config{}, repair.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Correct != out.Pairs || out.Missing != 0 || out.Wrong != 0 {
+		t.Fatalf("repaired run did not recover: %+v", out.Outcome)
+	}
+	if out.Stats.Retransmissions == 0 || out.Stats.DeadLinks != 1 {
+		t.Fatalf("unexpected repair activity: %+v", out.Stats)
+	}
+	if out.OverheadPct <= 0 {
+		t.Fatalf("recovery claims non-positive overhead %.2f%%", out.OverheadPct)
+	}
+}
+
+// TestRepairedRejectsBadPlan: plan errors surface as errors.
+func TestRepairedRejectsBadPlan(t *testing.T) {
+	g := topology.SquareTorus(4)
+	x := mustIHC(t, g)
+	tp := &fault.TemporalPlan{Nodes: []fault.NodeFault{{Node: 999, Kind: fault.Crash}}}
+	if _, err := EvaluateRepaired(x, tp, false, nil, core.Config{}, repair.Config{}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -32,7 +32,7 @@ func TestTimedMatchesCombinatorial(t *testing.T) {
 				p.Noisy[edges[rng.Intn(len(edges))]] = true
 			}
 			for _, signed := range []bool{false, true} {
-				want := EvaluateIHC(x, p, signed, kr)
+				want := mustEval(t, x, p, signed, kr)
 				got, err := EvaluateTimed(x, fault.FromStatic(p), signed, kr, core.Config{})
 				if err != nil {
 					t.Fatal(err)
@@ -82,7 +82,7 @@ func TestTimedTemporalWindow(t *testing.T) {
 		static.Links[e] = true
 		lfs = append(lfs, fault.LinkFault{U: e.U, V: e.V})
 	}
-	wantBroken := EvaluateIHC(x, static, false, nil)
+	wantBroken := mustEval(t, x, static, false, nil)
 	// Isolated receiver + isolated sender: 2(N-1) missing pairs.
 	if want := 2 * (g.N() - 1); wantBroken.Missing != want {
 		t.Fatalf("isolating node %d: %+v, want %d missing", victim, wantBroken, want)
@@ -156,7 +156,7 @@ func TestTimedCrashMidRun(t *testing.T) {
 	if plan == nil {
 		t.Fatal("no two-node crash placement blocks a source-0 pair on SQ4")
 	}
-	full := EvaluateIHC(x, plan, false, nil)
+	full := mustEval(t, x, plan, false, nil)
 	if full.Missing == 0 {
 		t.Fatalf("blocking placement lost nothing: %+v", full)
 	}

@@ -1,0 +1,515 @@
+// Package repair is the self-healing layer on top of the IHC broadcast:
+// it turns the paper's static γ-way redundancy into an active recovery
+// protocol. The closed-form stage schedule gives every copy an exact
+// expected-arrival tick (τ_S + μα + (position−1)·α after injection), so
+// the Manager derives per-(source, HC, destination) deadlines, inflated
+// for μ, the queueing delay D, and background-traffic load ρ so that a
+// healthy run never trips them. A missed deadline raises a timeout: the
+// first destination position without a copy localizes the loss to one
+// directed arc, a NAK travels from the detector back to the source
+// along a surviving directed Hamiltonian cycle, and the source
+// retransmits with exponential backoff, bounded by MaxAttempts.
+// Repeated loss on one arc diagnoses the underlying link dead, after
+// which routes — retransmissions immediately, subsequent stages via
+// core.Config.PatchRoutes — detour around it using edge-disjoint paths.
+//
+// Everything the Manager does is a deterministic function of the
+// simulation events it observes, so repair-enabled runs are exactly
+// reproducible; with no faults it injects nothing and the delivery
+// stream is byte-identical to a repair-off run.
+package repair
+
+import (
+	"ihc/internal/core"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+// Config tunes detection and recovery. The zero value selects defaults
+// derived from the network parameters at Manager construction.
+type Config struct {
+	// SlackBase is added to every deadline on top of the closed-form
+	// arrival tick. Default: μα + τ_S + D.
+	SlackBase simnet.Time
+	// SlackPerHop is added per route hop, covering the worst case a
+	// healthy hop can suffer (buffered fallback + one background burst +
+	// queueing). Default: 0 when ρ = 0 (the schedule is contention-free,
+	// arrivals are exact), else 2·(2μα + τ_S + D).
+	SlackPerHop simnet.Time
+	// Backoff is the delay between a NAK reaching the source and the
+	// first retransmission; it doubles with every further attempt.
+	// Default: τ_S + 2μα.
+	Backoff simnet.Time
+	// MaxAttempts bounds recovery rounds (NAK + retransmission) per lost
+	// packet. Default: 5.
+	MaxAttempts int
+	// SuspectThreshold is how many independent losses must localize to
+	// the same directed arc before its link is diagnosed dead and routed
+	// around. Default: 2 ("repeated loss").
+	SuspectThreshold int
+}
+
+func (c Config) withDefaults(p simnet.Params) Config {
+	pt := p.PacketTime()
+	if c.SlackBase == 0 {
+		c.SlackBase = pt + p.TauS + p.D
+	}
+	if c.SlackPerHop == 0 && (p.Rho > 0 || p.Mode != simnet.VirtualCutThrough) {
+		c.SlackPerHop = 2 * (2*pt + p.TauS + p.D)
+	}
+	if c.Backoff == 0 {
+		c.Backoff = p.TauS + 2*pt
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 5
+	}
+	if c.SuspectThreshold == 0 {
+		c.SuspectThreshold = 2
+	}
+	return c
+}
+
+// Stats aggregates what the repair layer observed and did across every
+// stage run the Manager was attached to.
+type Stats struct {
+	Timeouts        int // copies missing at their deadline when first detected
+	Naks            int // NAK packets injected
+	Retransmissions int // retransmission packets injected
+	Recovered       int // copies delivered to a previously-missing destination
+	GaveUp          int // copies abandoned (MaxAttempts exhausted or no route)
+	DeadLinks       int // links diagnosed dead
+	DeadNodes       int // nodes with ≥2 dead links, avoided as detour relays
+	Detours         int // stage routes rewritten by PatchSpecs
+}
+
+type trackKind int8
+
+const (
+	kindData trackKind = iota
+	kindNak
+	kindRetrans
+)
+
+// origin is the per-broadcast-packet recovery state: which destinations
+// have the copy, how many recovery rounds were spent.
+type origin struct {
+	specIdx  int32 // index of the data spec in the current run
+	id       simnet.PacketID
+	route    []topology.Node
+	got      []bool // per node: holds a copy of this packet
+	missing  int    // expected destinations still without a copy
+	attempts int
+	timedOut bool
+}
+
+// track is the per-spec view (data, NAK, or retransmission packet).
+type track struct {
+	kind  trackKind
+	route []topology.Node
+	got   []bool // per node: delivered by THIS spec (aliases origin.got for data)
+	o     *origin
+	dest  topology.Node // NAK destination (the origin's source)
+	done  bool          // NAK reached dest
+	// sched marks a spec running on the contention-free stage schedule:
+	// its deadline is sound, so a miss is proof of loss and feeds link
+	// diagnosis. Recovery traffic and patched routes run outside the
+	// schedule — they may simply be late, so they NAK and retry but
+	// never convict an arc.
+	sched bool
+}
+
+type arc struct{ u, v topology.Node }
+
+// Manager implements simnet.Controller. One Manager serves every stage
+// of an IHC run (attach it via core.Config.Control and
+// core.Config.PatchRoutes): per-stage tracking resets on Attach, while
+// fault diagnosis (suspected and dead links) persists, which is what
+// lets later stages route around earlier stages' losses.
+type Manager struct {
+	x   *core.IHC
+	g   *topology.Graph
+	p   simnet.Params
+	cfg Config
+
+	suspect  map[arc]int
+	deadLink map[topology.Edge]bool
+	deadInc  map[topology.Node]int // dead links incident to the node
+	deadNode map[topology.Node]bool
+
+	stats Stats
+
+	// Per-run state, reset by Attach.
+	rt      *simnet.Runtime
+	tracked []*track
+}
+
+// NewManager builds a repair controller for x under network parameters
+// p (must equal the Params of the runs it is attached to — deadlines
+// are computed from them).
+func NewManager(x *core.IHC, p simnet.Params, cfg Config) *Manager {
+	p = p.Defaulted()
+	return &Manager{
+		x: x, g: x.Graph(), p: p, cfg: cfg.withDefaults(p),
+		suspect:  map[arc]int{},
+		deadLink: map[topology.Edge]bool{},
+		deadInc:  map[topology.Node]int{},
+		deadNode: map[topology.Node]bool{},
+	}
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// DeadLinkList returns the diagnosed-dead links in sorted order.
+func (m *Manager) DeadLinkList() []topology.Edge {
+	out := make([]topology.Edge, 0, len(m.deadLink))
+	for e := range m.deadLink {
+		out = append(out, e)
+	}
+	// Insertion sort: the list is tiny (diagnosed faults).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.U < b.U || (a.U == b.U && a.V <= b.V) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// Token layout: low 2 bits select the action, the rest index tracked.
+const (
+	tokDeadline = 0 // check the spec's deadline
+	tokRetrans  = 1 // fire a retransmission for the origin's data spec
+)
+
+func token(idx int32, kind int) int64 { return int64(idx)<<2 | int64(kind) }
+
+// deadline returns the latest healthy arrival of the spec's final copy
+// plus slack: inject + τ_S + pt + (hops−1)·α is the closed-form
+// cut-through arrival at the last route position.
+func (m *Manager) deadline(inject simnet.Time, routeLen, flits int, perHop simnet.Time) simnet.Time {
+	pt := m.p.PacketTime()
+	if flits > 0 {
+		pt = simnet.Time(flits) * m.p.Alpha
+	}
+	hops := simnet.Time(routeLen - 1)
+	return inject + m.p.TauS + pt + (hops-1)*m.p.Alpha + m.cfg.SlackBase + hops*m.perHopOr(perHop)
+}
+
+func (m *Manager) perHopOr(perHop simnet.Time) simnet.Time {
+	if perHop > m.cfg.SlackPerHop {
+		return perHop
+	}
+	return m.cfg.SlackPerHop
+}
+
+// recoverySlackPerHop is the per-hop slack for NAKs, retransmissions,
+// and patched routes: these run outside the contention-free schedule
+// (they can collide with data traffic and each other), so they always
+// get the generous bound even at ρ = 0.
+func (m *Manager) recoverySlackPerHop() simnet.Time {
+	return 2 * (2*m.p.PacketTime() + m.p.TauS + m.p.D)
+}
+
+// DeadlineFor exposes the detection deadline of a stage data spec for
+// tests: the closed-form arrival of its final copy plus configured
+// slack.
+func (m *Manager) DeadlineFor(s simnet.PacketSpec) simnet.Time {
+	perHop := simnet.Time(0)
+	if len(s.Route) != m.x.N() {
+		perHop = m.recoverySlackPerHop()
+	}
+	return m.deadline(s.Inject, len(s.Route), s.Flits, perHop)
+}
+
+// Attach resets per-run tracking and arms one deadline timer per spec.
+// Diagnosed faults persist across attaches.
+func (m *Manager) Attach(rt *simnet.Runtime, specs []simnet.PacketSpec) {
+	m.rt = rt
+	m.tracked = m.tracked[:0]
+	n := m.x.N()
+	for i := range specs {
+		s := &specs[i]
+		o := &origin{specIdx: int32(i), id: s.ID, route: s.Route, got: make([]bool, n)}
+		o.got[s.Route[0]] = true
+		for _, v := range s.Route[1:] {
+			if !o.got[v] {
+				o.got[v] = true
+				o.missing++
+			}
+		}
+		// got doubles as the expected set during setup: flip it back to
+		// "only the source holds a copy".
+		for _, v := range s.Route[1:] {
+			o.got[v] = false
+		}
+		o.got[s.Route[0]] = true
+		// A stage route normally spans the whole cycle (N nodes); a
+		// patched one is longer and runs outside the contention-free
+		// schedule, so it gets recovery slack and loses conviction power.
+		// Once any link is diagnosed, the stage mixes patched and
+		// scheduled routes, whose detours contend with the schedule —
+		// every spec then needs the generous slack (convictions remain
+		// sound: with enough slack a miss still means loss).
+		sched := len(s.Route) == n
+		m.tracked = append(m.tracked, &track{kind: kindData, route: s.Route, got: o.got, o: o, sched: sched})
+		perHop := simnet.Time(0)
+		if !sched || len(m.deadLink) > 0 {
+			perHop = m.recoverySlackPerHop()
+		}
+		rt.SetTimer(m.deadline(s.Inject, len(s.Route), s.Flits, perHop), token(int32(i), tokDeadline))
+	}
+}
+
+// OnDeliver keeps per-spec and per-origin coverage current; a NAK
+// reaching its destination (the source of the lost packet) schedules
+// the retransmission after the current backoff.
+func (m *Manager) OnDeliver(pkt int32, node topology.Node, at simnet.Time) {
+	if int(pkt) >= len(m.tracked) {
+		return
+	}
+	tr := m.tracked[pkt]
+	if tr == nil {
+		return
+	}
+	switch tr.kind {
+	case kindData:
+		// tr.got aliases o.got.
+		if !tr.got[node] {
+			tr.got[node] = true
+			tr.o.missing--
+		}
+	case kindRetrans:
+		if !tr.got[node] {
+			tr.got[node] = true
+		}
+		if !tr.o.got[node] {
+			tr.o.got[node] = true
+			tr.o.missing--
+			m.stats.Recovered++
+		}
+	case kindNak:
+		if !tr.got[node] {
+			tr.got[node] = true
+		}
+		if node == tr.dest && !tr.done {
+			tr.done = true
+			m.rt.SetTimer(at+m.backoff(tr.o), token(tr.o.specIdx, tokRetrans))
+		}
+	}
+}
+
+func (m *Manager) backoff(o *origin) simnet.Time {
+	shift := o.attempts - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16
+	}
+	return m.cfg.Backoff << uint(shift)
+}
+
+// OnTimer dispatches deadline checks and retransmission firings.
+func (m *Manager) OnTimer(at simnet.Time, tok int64) {
+	idx := int32(tok >> 2)
+	if int(idx) >= len(m.tracked) {
+		return
+	}
+	tr := m.tracked[idx]
+	if tr == nil {
+		return
+	}
+	switch tok & 3 {
+	case tokDeadline:
+		m.checkDeadline(tr, at)
+	case tokRetrans:
+		m.fireRetrans(tr.o, at)
+	}
+}
+
+// checkDeadline runs when a spec's last copy should long have arrived.
+// Missing coverage localizes the loss, feeds diagnosis, and starts (or
+// continues) the NAK/retransmission loop.
+func (m *Manager) checkDeadline(tr *track, at simnet.Time) {
+	o := tr.o
+	if tr.kind == kindNak {
+		if tr.done {
+			return // delivered; retransmission already scheduled
+		}
+		// The NAK itself was lost or is hopelessly late: retry. (No
+		// suspicion from it — recovery traffic contends and may merely
+		// be slow.)
+		m.sendNak(o, tr, at)
+		return
+	}
+	if o.missing == 0 {
+		return
+	}
+	if tr.kind == kindData && !o.timedOut {
+		o.timedOut = true
+		m.stats.Timeouts += o.missing
+	}
+	// The teed copies form a prefix of the route: the first position
+	// without a copy pins the loss to the arc entering it. Only specs on
+	// the contention-free schedule convict (see track.sched).
+	if p := firstMissing(tr); p > 0 {
+		if tr.sched {
+			m.suspectArc(tr.route[p-1], tr.route[p])
+		}
+		m.sendNak(o, tr, at)
+		return
+	}
+	// This spec delivered everywhere on its own route, yet the origin
+	// still misses destinations (a partial-coverage retransmission):
+	// skip the NAK round-trip and go straight to another attempt.
+	if o.attempts >= m.cfg.MaxAttempts {
+		m.stats.GaveUp += o.missing
+		return
+	}
+	o.attempts++
+	m.rt.SetTimer(at+m.backoff(o), token(o.specIdx, tokRetrans))
+}
+
+// firstMissing returns the first route position (≥ 1) whose node has no
+// copy from this spec, or -1 when the whole route is covered.
+func firstMissing(tr *track) int {
+	for p := 1; p < len(tr.route); p++ {
+		if !tr.got[tr.route[p]] {
+			return p
+		}
+	}
+	return -1
+}
+
+// suspectArc accumulates loss evidence; at SuspectThreshold the
+// underlying link is diagnosed dead (link faults in the fault model cut
+// both directions, so diagnosis is per undirected link), and a node
+// accumulating two dead links is flagged so detours avoid relaying
+// through it.
+func (m *Manager) suspectArc(u, v topology.Node) {
+	a := arc{u, v}
+	m.suspect[a]++
+	e := topology.NewEdge(u, v)
+	if m.deadLink[e] || m.suspect[a]+m.suspect[arc{v, u}] < m.cfg.SuspectThreshold {
+		return
+	}
+	m.deadLink[e] = true
+	m.stats.DeadLinks++
+	for _, w := range []topology.Node{u, v} {
+		m.deadInc[w]++
+		if m.deadInc[w] >= 2 && !m.deadNode[w] {
+			m.deadNode[w] = true
+			m.stats.DeadNodes++
+		}
+	}
+}
+
+// sendNak injects a NAK from the first node that missed its copy back
+// to the packet's source, along the shortest surviving directed HC
+// segment (falling back to BFS around diagnosed faults). NAK packets
+// are 1 flit, tee so every relay learns of the loss, and carry
+// Seq = -attempt so graders can filter them out of coverage.
+func (m *Manager) sendNak(o *origin, tr *track, at simnet.Time) {
+	if o.attempts >= m.cfg.MaxAttempts {
+		m.stats.GaveUp += o.missing
+		return
+	}
+	p := firstMissing(tr)
+	if p < 0 {
+		// Nothing to localize on this spec; fall back to a direct retry.
+		o.attempts++
+		m.rt.SetTimer(at+m.backoff(o), token(o.specIdx, tokRetrans))
+		return
+	}
+	detector := tr.route[p]
+	src := o.route[0]
+	if detector == src {
+		// A patched route can revisit the source; treat as unlocalizable.
+		o.attempts++
+		m.rt.SetTimer(at+m.backoff(o), token(o.specIdx, tokRetrans))
+		return
+	}
+	o.attempts++
+	route := m.nakRoute(detector, src)
+	if route == nil {
+		m.stats.GaveUp += o.missing
+		return
+	}
+	spec := simnet.PacketSpec{
+		ID:     simnet.PacketID{Source: detector, Channel: o.id.Channel, Seq: -o.attempts},
+		Route:  route,
+		Inject: at,
+		Tee:    true,
+		Flits:  1,
+	}
+	idx, err := m.rt.Inject(spec)
+	if err != nil {
+		m.stats.GaveUp += o.missing
+		return
+	}
+	m.stats.Naks++
+	nt := &track{kind: kindNak, route: route, got: make([]bool, m.x.N()), o: o, dest: src}
+	nt.got[route[0]] = true
+	m.trackAt(idx, nt)
+	m.rt.SetTimer(m.deadline(at, len(route), 1, m.recoverySlackPerHop()), token(idx, tokDeadline))
+}
+
+// fireRetrans re-injects the lost packet from its source. Preferred
+// shape: the full cyclic route with every diagnosed-dead link replaced
+// by a detour (so one packet re-covers everything, including nodes
+// that never saw the original). If no consistent patched cycle exists,
+// it degrades to per-destination shortest paths around the faults.
+func (m *Manager) fireRetrans(o *origin, at simnet.Time) {
+	if o.missing == 0 || o.attempts > m.cfg.MaxAttempts {
+		return
+	}
+	routes := m.recoveryRoutes(o)
+	if len(routes) == 0 {
+		m.stats.GaveUp += o.missing
+		return
+	}
+	for _, r := range routes {
+		spec := simnet.PacketSpec{
+			ID: simnet.PacketID{
+				Source:  o.id.Source,
+				Channel: o.id.Channel,
+				Seq:     o.id.Seq + retransSeqStride*o.attempts,
+			},
+			Route:  r,
+			Inject: at,
+			Tee:    true,
+		}
+		idx, err := m.rt.Inject(spec)
+		if err != nil {
+			continue
+		}
+		m.stats.Retransmissions++
+		rt := &track{kind: kindRetrans, route: r, got: make([]bool, m.x.N()), o: o}
+		rt.got[r[0]] = true
+		m.trackAt(idx, rt)
+		m.rt.SetTimer(m.deadline(at, len(r), 0, m.recoverySlackPerHop()), token(idx, tokDeadline))
+	}
+}
+
+// retransSeqStride keeps retransmission sequence numbers disjoint from
+// stage indices (Seq = stage < N for data packets) while staying
+// non-negative, so graders count them as genuine copies yet tests can
+// still tell them apart.
+const retransSeqStride = 1 << 20
+
+// trackAt records tr at spec index idx. Runtime.Inject hands out
+// consecutive indices, so idx is normally exactly len(tracked).
+func (m *Manager) trackAt(idx int32, tr *track) {
+	for int(idx) > len(m.tracked) {
+		m.tracked = append(m.tracked, nil)
+	}
+	if int(idx) == len(m.tracked) {
+		m.tracked = append(m.tracked, tr)
+	} else {
+		m.tracked[idx] = tr
+	}
+}

@@ -32,6 +32,12 @@ type evKind uint8
 const (
 	evCut evKind = iota
 	evSend
+	// evTimer is a controller wake-up: it carries no packet, only an
+	// opaque token (stashed in the event's arr field), and exists only
+	// when Options.Control is attached. Timer events share the (time,
+	// seq) total order with packet events, so an attached controller
+	// never perturbs the relative order of the packet events themselves.
+	evTimer
 )
 
 type event struct {
@@ -131,6 +137,11 @@ type Options struct {
 	// drop the copy or taint its payload (see FaultHook). Nil costs one
 	// predictable branch per event on the hot path.
 	Fault FaultHook
+	// Control, when non-nil, attaches an online controller (see
+	// Controller): it observes deliveries, sets timers, and may inject
+	// new packets mid-run — the machinery behind the repair layer. Nil
+	// costs one predictable branch per event and one per delivery.
+	Control Controller
 }
 
 // runState is the working state of one Run. It lives inside a Scratch so
@@ -151,6 +162,14 @@ type runState struct {
 	ready    []Time    // per spec: latest parent delivery at Route[0]
 	started  []bool
 	corrupt  []bool // per spec: payload tainted by the fault hook (hook runs only)
+
+	// Controller support (populated only when opts.Control != nil):
+	// ownSpecs is a scratch-owned copy of the caller's specs so that
+	// Runtime.Inject can append without aliasing caller memory, and now
+	// is the time of the event currently being processed, so injections
+	// can be validated against causality.
+	ownSpecs []PacketSpec
+	now      Time
 }
 
 // release drops the pointers a finished run would otherwise pin in the
@@ -158,6 +177,12 @@ type runState struct {
 // reusable backing arrays.
 func (st *runState) release() {
 	st.net, st.specs, st.res = nil, nil, nil
+	if len(st.ownSpecs) > 0 {
+		// Spec copies hold route slices owned by the caller (or the
+		// controller); drop them so the scratch pins only its own arrays.
+		clear(st.ownSpecs)
+		st.ownSpecs = st.ownSpecs[:0]
+	}
 }
 
 // Run simulates the given packets to completion and returns aggregate
@@ -269,10 +294,30 @@ func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 		// Source injection: startup τ_S, then request the first link.
 		st.start(int32(i), s.Inject)
 	}
-	for len(st.queue.a) > 0 {
-		ev := st.queue.pop()
-		st.res.Events++
-		st.handle(ev)
+	if opts.Control == nil {
+		for len(st.queue.a) > 0 {
+			ev := st.queue.pop()
+			st.res.Events++
+			st.handle(ev)
+		}
+	} else {
+		// Controller-attached loop: the specs are copied into scratch-owned
+		// memory first so Runtime.Inject may append mid-run, and timer
+		// events are dispatched to the controller instead of handle().
+		st.ownSpecs = append(st.ownSpecs[:0], specs...)
+		st.specs = st.ownSpecs
+		st.now = 0
+		opts.Control.Attach(&Runtime{st: st}, st.specs)
+		for len(st.queue.a) > 0 {
+			ev := st.queue.pop()
+			st.res.Events++
+			st.now = ev.t
+			if ev.kind == evTimer {
+				opts.Control.OnTimer(ev.t, int64(ev.arr))
+				continue
+			}
+			st.handle(ev)
+		}
 	}
 	for i := range specs {
 		if !st.started[i] {
@@ -537,5 +582,8 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 			ID: id, Node: node, At: at,
 			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
 		})
+	}
+	if st.opts.Control != nil {
+		st.opts.Control.OnDeliver(pkt, node, at)
 	}
 }

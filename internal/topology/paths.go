@@ -1,0 +1,135 @@
+package topology
+
+// Path extraction on top of the unit-capacity flow machinery in
+// connectivity.go. EdgeDisjointPaths answers "how many"; the repair
+// layer also needs the actual routes, so EdgeDisjointPathRoutes
+// decomposes a maximum flow into explicit node sequences, and
+// ShortestPathAvoiding finds a fallback detour that respects a
+// caller-supplied dead-link predicate.
+
+// EdgeDisjointPathRoutes returns a maximum-cardinality set of pairwise
+// edge-disjoint s→t paths as explicit node sequences (each starting at
+// s and ending at t). len(result) == EdgeDisjointPaths(s, t). The
+// decomposition is deterministic: identical graphs yield identical path
+// sets in identical order.
+func (g *Graph) EdgeDisjointPathRoutes(s, t Node) [][]Node {
+	g.checkNode(s)
+	g.checkNode(t)
+	if s == t {
+		panic("topology: EdgeDisjointPathRoutes with s == t")
+	}
+	f := newFlowNet(g.N())
+	for _, e := range g.Edges() {
+		f.addArc(int(e.U), int(e.V), 1)
+		f.addArc(int(e.V), int(e.U), 1)
+	}
+	k := f.maxFlow(int(s), int(t), -1)
+	if k == 0 {
+		return nil
+	}
+	// Each undirected edge contributed four arc slots: 4i is u→v, 4i+2
+	// is v→u (odd slots are residuals). Cancel antiparallel unit flows —
+	// they are pure circulation across one edge and would otherwise show
+	// up as a two-step detour-and-return during the walk below.
+	for e := 0; e+2 < len(f.cap); e += 4 {
+		if f.cap[e] == 0 && f.cap[e+2] == 0 {
+			f.cap[e], f.cap[e+1] = 1, 0
+			f.cap[e+2], f.cap[e+3] = 1, 0
+		}
+	}
+	// Outgoing flow arcs per node, in ascending arc order for
+	// determinism. A forward arc carries flow iff its capacity was
+	// exhausted.
+	out := make([][]int32, g.N())
+	for e := 0; e < len(f.cap); e += 2 {
+		if f.cap[e] == 0 {
+			u := f.to[e^1]
+			out[u] = append(out[u], int32(f.to[e]))
+		}
+	}
+	// Walk k times from s to t, consuming one flow arc per step. Flow
+	// conservation guarantees each walk reaches t; residual circulation
+	// (a cycle glued onto a path) is stripped by truncating at the first
+	// repeated node.
+	paths := make([][]Node, 0, k)
+	pos := make([]int, g.N())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for len(paths) < k {
+		path := []Node{s}
+		pos[s] = 0
+		cur := int(s)
+		for cur != int(t) {
+			o := out[cur]
+			if len(o) == 0 {
+				// Conservation violated — cannot happen for a valid flow;
+				// bail out rather than loop forever.
+				break
+			}
+			next := int(o[len(o)-1])
+			out[cur] = o[:len(o)-1]
+			if p := pos[next]; p >= 0 {
+				// Entered a cycle: drop the loop portion.
+				for _, v := range path[p+1:] {
+					pos[v] = -1
+				}
+				path = path[:p+1]
+			} else {
+				pos[next] = len(path)
+				path = append(path, Node(next))
+			}
+			cur = next
+		}
+		for _, v := range path {
+			pos[v] = -1
+		}
+		if cur != int(t) {
+			break
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// ShortestPathAvoiding returns a shortest s→t path that never crosses an
+// edge for which avoid(u, v) reports true (consulted in the traversal
+// direction u→v), or nil when t is unreachable under that restriction.
+// A nil avoid means plain BFS. s == t yields the single-node path.
+func (g *Graph) ShortestPathAvoiding(s, t Node, avoid func(u, v Node) bool) []Node {
+	g.checkNode(s)
+	g.checkNode(t)
+	if s == t {
+		return []Node{s}
+	}
+	prev := make([]Node, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[s] = s
+	queue := []Node{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if prev[v] >= 0 || (avoid != nil && avoid(u, v)) {
+				continue
+			}
+			prev[v] = u
+			if v == t {
+				// Reconstruct back to s.
+				var rev []Node
+				for w := t; w != s; w = prev[w] {
+					rev = append(rev, w)
+				}
+				rev = append(rev, s)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}

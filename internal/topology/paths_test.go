@@ -1,0 +1,118 @@
+package topology
+
+import "testing"
+
+func validatePathSet(t *testing.T, g *Graph, s, to Node, paths [][]Node) {
+	t.Helper()
+	used := map[Edge]bool{}
+	for pi, p := range paths {
+		if len(p) < 2 || p[0] != s || p[len(p)-1] != to {
+			t.Fatalf("path %d = %v: want %d…%d with ≥2 nodes", pi, p, s, to)
+		}
+		seen := map[Node]bool{}
+		for _, v := range p {
+			if seen[v] {
+				t.Fatalf("path %d = %v revisits node %d", pi, p, v)
+			}
+			seen[v] = true
+		}
+		for h := 0; h+1 < len(p); h++ {
+			if !g.HasEdge(p[h], p[h+1]) {
+				t.Fatalf("path %d = %v: {%d,%d} is not an edge", pi, p, p[h], p[h+1])
+			}
+			e := NewEdge(p[h], p[h+1])
+			if used[e] {
+				t.Fatalf("edge %v used by two paths (second in path %d = %v)", e, pi, p)
+			}
+			used[e] = true
+		}
+	}
+}
+
+func TestEdgeDisjointPathRoutes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"sq4", SquareTorus(4)},
+		{"q4", Hypercube(4)},
+		{"q6", Hypercube(6)},
+		{"h3", HexMesh(3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			for _, pair := range [][2]Node{{0, 1}, {0, Node(g.N() - 1)}, {1, Node(g.N() / 2)}} {
+				s, d := pair[0], pair[1]
+				if s == d {
+					continue
+				}
+				want := g.EdgeDisjointPaths(s, d)
+				paths := g.EdgeDisjointPathRoutes(s, d)
+				if len(paths) != want {
+					t.Fatalf("%d→%d: %d routes, EdgeDisjointPaths says %d", s, d, len(paths), want)
+				}
+				validatePathSet(t, g, s, d, paths)
+			}
+		})
+	}
+}
+
+func TestEdgeDisjointPathRoutesDeterministic(t *testing.T) {
+	g := SquareTorus(4)
+	a := g.EdgeDisjointPathRoutes(0, 10)
+	b := g.EdgeDisjointPathRoutes(0, 10)
+	if len(a) != len(b) {
+		t.Fatalf("path counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("path %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("path %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestEdgeDisjointPathRoutesDisconnected(t *testing.T) {
+	g := New("two-islands", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if paths := g.EdgeDisjointPathRoutes(0, 3); paths != nil {
+		t.Fatalf("disconnected pair yielded paths %v", paths)
+	}
+}
+
+func TestShortestPathAvoiding(t *testing.T) {
+	g := SquareTorus(4)
+	// Unrestricted: must match BFS distance.
+	dist := g.BFS(0)
+	for v := 1; v < g.N(); v++ {
+		p := g.ShortestPathAvoiding(0, Node(v), nil)
+		if p == nil || len(p)-1 != dist[v] {
+			t.Fatalf("0→%d: path %v, want length %d", v, p, dist[v])
+		}
+	}
+	// Avoiding the direct edge 0–1 forces a longer route that still
+	// arrives without crossing it.
+	avoid := func(u, v Node) bool { return NewEdge(u, v) == NewEdge(0, 1) }
+	p := g.ShortestPathAvoiding(0, 1, avoid)
+	if p == nil || len(p)-1 <= 1 {
+		t.Fatalf("avoiding {0,1}: got %v, want a detour", p)
+	}
+	for h := 0; h+1 < len(p); h++ {
+		if avoid(p[h], p[h+1]) {
+			t.Fatalf("detour %v crosses the avoided edge", p)
+		}
+	}
+	// Avoiding everything: unreachable.
+	if p := g.ShortestPathAvoiding(0, 5, func(u, v Node) bool { return true }); p != nil {
+		t.Fatalf("all-avoided BFS returned %v", p)
+	}
+	// Degenerate s == t.
+	if p := g.ShortestPathAvoiding(3, 3, nil); len(p) != 1 || p[0] != 3 {
+		t.Fatalf("s==t returned %v", p)
+	}
+}
