@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine recovery-quick verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine recovery-quick oracle-quick verify
 
 all: verify
 
@@ -34,13 +34,15 @@ bench-engine:
 bench-fault:
 	$(GO) run ./cmd/faultcamp -o BENCH_fault.json
 
-# Short fuzz smoke over the voter, the MAC verify path, and the
+# Short fuzz smoke over the voter, the MAC verify path, the
 # temporal-plan validator/compiler (the spots that take adversarial
-# bytes or adversarial plans), mirroring the CI budget.
+# bytes or adversarial plans), and the metrics merge (worker-count
+# independence of the observability aggregates), mirroring the CI budget.
 fuzz:
 	$(GO) test -fuzz=FuzzVoteUnsigned -fuzztime=15s ./internal/reliable
 	$(GO) test -fuzz=FuzzKeyringVerify -fuzztime=15s ./internal/reliable
 	$(GO) test -fuzz=FuzzTemporalPlan -fuzztime=15s ./internal/fault
+	$(GO) test -fuzz=FuzzMetricsMerge -fuzztime=15s ./internal/observe
 
 # Engine-regression smoke: one measured Q10 ATA run; fails if
 # allocs/event exceeds 10x the value recorded in BENCH_engine.json
@@ -54,7 +56,21 @@ smoke-engine:
 recovery-quick:
 	$(GO) run ./cmd/ihcbench -quick -run recovery
 
+# Quick oracle sweep: the live theorem checker verifies contention-
+# freeness / occupancy / routes / exact finishes on the small
+# topologies (η >= μ must pass, η < μ must be flagged), then one
+# deliberate η < μ strict run that MUST exit non-zero — proving the
+# checker fails loudly, not silently.
+oracle-quick:
+	$(GO) run ./cmd/ihcbench -quick -run contention
+	@if $(GO) run ./cmd/atasim -net SQ4 -algo ihc -eta 1 -oracle-strict >/dev/null 2>&1; then \
+		echo "oracle-quick: strict oracle FAILED to reject an η < μ run"; exit 1; \
+	else \
+		echo "oracle-quick: strict oracle correctly rejected the η < μ run"; \
+	fi
+
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean),
-# then the engine-allocation smoke and the quick recovery sweep.
-verify: vet build test race smoke-engine recovery-quick
+# then the engine-allocation smoke, the quick recovery sweep, and the
+# quick oracle sweep.
+verify: vet build test race smoke-engine recovery-quick oracle-quick

@@ -10,12 +10,17 @@
 //	atasim -net H3 -algo ks -saturated
 //	atasim -net Q6 -algo frs
 //	atasim -net Q6 -algo vrs
+//	atasim -net Q6 -algo ihc -eta 2 -metrics            # per-link/stage aggregates
+//	atasim -net Q6 -algo ihc -eta 2 -oracle             # live Theorem 3/4 verification
+//	atasim -net Q4 -algo ihc -eta 2 -trace run.jsonl    # per-hop JSONL stream
+//	atasim -net Q4 -algo ihc -eta 2 -trace run.json -tracefmt chrome
 //	atasim -net Q10 -algo ihc -eta 2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,6 +34,7 @@ import (
 	"ihc/internal/baseline/vsq"
 	"ihc/internal/core"
 	"ihc/internal/hamilton"
+	"ihc/internal/observe"
 	"ihc/internal/profiling"
 	"ihc/internal/simnet"
 	"ihc/internal/topology"
@@ -53,6 +59,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "background traffic seed")
 		saturated = flag.Bool("saturated", false, "heavy-traffic limiting regime (Table IV)")
 		verify    = flag.Bool("verify", true, "verify the γ-copy ATA delivery postcondition")
+		metricsF  = flag.Bool("metrics", false, "aggregate per-link/node/stage metrics and print a summary")
+		oracleF   = flag.Bool("oracle", false, "ihc: verify Theorem 3/4 invariants live from the hop stream")
+		oracleS   = flag.Bool("oracle-strict", false, "like -oracle but asserts contention-freeness unconditionally — exits non-zero on any contention, even at η < μ")
+		tracePath = flag.String("trace", "", "write the per-hop observer stream to this file (\"-\" for stdout)")
+		traceFmt  = flag.String("tracefmt", "jsonl", "trace format: jsonl or chrome (chrome://tracing / Perfetto)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,6 +81,11 @@ func main() {
 		D: simnet.Time(*d), Rho: *rho, Seed: *seed,
 	}
 	g, err := buildGraph(*net)
+	if err != nil {
+		fail(err)
+	}
+
+	trace, traceDone, err := openTrace(*tracePath, *traceFmt)
 	if err != nil {
 		fail(err)
 	}
@@ -94,6 +110,8 @@ func main() {
 		type out struct {
 			res *core.Result
 			err error
+			met *observe.Metrics
+			orc *observe.Oracle
 		}
 		outs := make([]out, len(etas))
 		w := *workers
@@ -103,12 +121,52 @@ func main() {
 		if w > len(etas) {
 			w = len(etas)
 		}
+		if trace != nil {
+			// A trace sink is single-stream: run the sweep sequentially so
+			// the exported stream is the engine's deterministic order.
+			w = 1
+		}
 		runOne := func(i int) {
+			var sinks []simnet.Observer
+			if trace != nil {
+				sinks = append(sinks, trace)
+			}
+			var met *observe.Metrics
+			if *metricsF {
+				met = observe.NewMetrics()
+				sinks = append(sinks, met)
+			}
+			var orc *observe.Oracle
+			if *oracleF || *oracleS {
+				n := g.N()
+				// Theorem 3 promises contention-freeness only on a
+				// dedicated, unmodified run with η >= μ and N mod η = 0;
+				// elsewhere the oracle counts contention without failing —
+				// unless -oracle-strict demands a clean run regardless.
+				free := *oracleS ||
+					(*rho == 0 && !*saturated && !*overlap && etas[i] >= p.Mu && n%etas[i] == 0)
+				oc := observe.OracleConfig{
+					X: x, Params: p, Eta: etas[i],
+					ExpectContentionFree: free,
+					ExpectFinish:         -1,
+					Light:                n > 512,
+				}
+				if free && n <= 256 {
+					oc.ExpectCopies = x.Gamma()
+				}
+				o, err := observe.NewOracle(oc)
+				if err != nil {
+					outs[i] = out{err: err}
+					return
+				}
+				orc = o
+				sinks = append(sinks, orc)
+			}
 			res, err := x.Run(core.Config{
 				Eta: etas[i], Params: p, Overlap: *overlap, Saturated: *saturated,
-				SkipCopies: !*verify,
+				SkipCopies: !*verify, Observe: observe.Tee(sinks...),
 			})
-			outs[i] = out{res, err}
+			outs[i] = out{res, err, met, orc}
 		}
 		if w <= 1 {
 			for i := range etas {
@@ -154,10 +212,35 @@ func main() {
 				}
 				fmt.Printf("verified:     every node holds %d copies of every other node's message\n", x.Gamma())
 			}
+			if o.orc != nil {
+				if err := o.orc.Finalize(); err != nil {
+					fail(fmt.Errorf("oracle: %w", err))
+				}
+				st := o.orc.Stats()
+				fmt.Printf("oracle:       %d hops checked, %d contentions, peak FIFO %d flits — all invariants hold\n",
+					st.DataHops, st.Contentions, st.PeakOccupancy)
+			}
+			if o.met != nil {
+				fmt.Printf("metrics:      %s\n", o.met.Snapshot().Summary())
+			}
 		}
 
 	case "vrs", "ks", "vsq":
-		res, gamma, err := runSerialized(*algo, g, p, atarun.Options{Copies: *verify, Saturated: *saturated})
+		if *oracleF || *oracleS {
+			fail(fmt.Errorf("-oracle checks IHC cycle invariants; it does not apply to %s", *algo))
+		}
+		var met *observe.Metrics
+		var sinks []simnet.Observer
+		if trace != nil {
+			sinks = append(sinks, trace)
+		}
+		if *metricsF {
+			met = observe.NewMetrics()
+			sinks = append(sinks, met)
+		}
+		res, gamma, err := runSerialized(*algo, g, p, atarun.Options{
+			Copies: *verify, Saturated: *saturated, Observe: observe.Tee(sinks...),
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -171,8 +254,14 @@ func main() {
 			}
 			fmt.Printf("verified:     every node holds %d copies of every other node's message\n", gamma)
 		}
+		if met != nil {
+			fmt.Printf("metrics:      %s\n", met.Snapshot().Summary())
+		}
 
 	case "frs":
+		if trace != nil || *metricsF || *oracleF || *oracleS {
+			fail(fmt.Errorf("frs runs on the lock-step simulator, which has no per-hop observer"))
+		}
 		m, ok := hypercubeDim(g)
 		if !ok {
 			fail(fmt.Errorf("frs runs on hypercubes only, got %s", g.Name()))
@@ -195,6 +284,56 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+
+	if err := traceDone(); err != nil {
+		fail(err)
+	}
+}
+
+// openTrace builds the requested trace exporter. The returned done func
+// flushes the exporter and closes the file; both are no-ops when no
+// trace was requested.
+func openTrace(path, format string) (simnet.Observer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, file = f, f
+	}
+	closeFile := func() error {
+		if file != nil {
+			return file.Close()
+		}
+		return nil
+	}
+	switch format {
+	case "jsonl":
+		j := observe.NewJSONL(w)
+		return j, func() error {
+			if err := j.Flush(); err != nil {
+				closeFile()
+				return err
+			}
+			return closeFile()
+		}, nil
+	case "chrome":
+		ct := observe.NewChromeTrace(w)
+		return ct, func() error {
+			if err := ct.Close(); err != nil {
+				closeFile()
+				return err
+			}
+			return closeFile()
+		}, nil
+	}
+	closeFile()
+	return nil, nil, fmt.Errorf("unknown -tracefmt %q (want jsonl or chrome)", format)
 }
 
 func runSerialized(algo string, g *topology.Graph, p simnet.Params, opts atarun.Options) (*atarun.Result, int, error) {

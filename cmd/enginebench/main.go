@@ -9,7 +9,11 @@
 // (seconds, for CI); -check compares the measured allocs/event against
 // the value recorded in the -against file and exits non-zero when it
 // regressed by more than 10x — the engine's allocation-free event loop
-// is an oracle this smoke keeps honest.
+// is an oracle this smoke keeps honest. The nil-observer fast path is
+// exactly what the headline numbers measure; a second measurement with
+// a counting observer attached reports the per-event hook cost, and
+// -check additionally requires the hooked run to stay allocation-free
+// (the hook hands out stack values, never heap).
 package main
 
 import (
@@ -56,7 +60,22 @@ type report struct {
 	Current   metrics `json:"current"`
 	Baseline  metrics `json:"baseline_pre_flat_array"`
 	Speedup   float64 `json:"speedup_events_per_sec"`
+	// Hooked is the same workload with a counting observer attached —
+	// the per-hop trace hook's worst-case cost (one interface call per
+	// event, zero heap traffic). HookOverheadNs is hooked minus nil-hook
+	// ns/event.
+	Hooked         *metrics `json:"hooked_observer,omitempty"`
+	HookOverheadNs float64  `json:"hook_overhead_ns_per_event,omitempty"`
 }
+
+// countObserver is the cheapest possible live sink: the measured hooked
+// cost is then the hook dispatch itself, not sink work.
+type countObserver struct {
+	hops, dels int
+}
+
+func (c *countObserver) OnHop(simnet.HopEvent)     { c.hops++ }
+func (c *countObserver) OnDeliver(simnet.Delivery) { c.dels++ }
 
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (\"-\" for stdout)")
@@ -76,36 +95,36 @@ func main() {
 	}
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 
-	var cur metrics
 	runs := 1
-	if *quick {
-		var ms0, ms1 runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		t0 := time.Now()
-		res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
-		elapsed := time.Since(t0)
-		runtime.ReadMemStats(&ms1)
-		if err != nil {
-			fail(err)
+	measure := func(obs simnet.Observer) metrics {
+		if *quick {
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true, Observe: obs})
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				fail(err)
+			}
+			if res.Contentions != 0 {
+				fail(fmt.Errorf("contention in dedicated run"))
+			}
+			total := float64(res.Events)
+			return metrics{
+				EventsPerRun:   res.Events,
+				EventsPerSec:   total / elapsed.Seconds(),
+				NsPerEvent:     float64(elapsed.Nanoseconds()) / total,
+				AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / total,
+				BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+			}
 		}
-		if res.Contentions != 0 {
-			fail(fmt.Errorf("contention in dedicated run"))
-		}
-		total := float64(res.Events)
-		cur = metrics{
-			EventsPerRun:   res.Events,
-			EventsPerSec:   total / elapsed.Seconds(),
-			NsPerEvent:     float64(elapsed.Nanoseconds()) / total,
-			AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / total,
-			BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
-		}
-	} else {
 		var events int
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
+				res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true, Observe: obs})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -115,9 +134,11 @@ func main() {
 				events = res.Events
 			}
 		})
-		runs = r.N
+		if obs == nil {
+			runs = r.N
+		}
 		total := float64(events) * float64(r.N)
-		cur = metrics{
+		return metrics{
 			EventsPerRun:   events,
 			EventsPerSec:   total / r.T.Seconds(),
 			NsPerEvent:     float64(r.T.Nanoseconds()) / total,
@@ -125,15 +146,23 @@ func main() {
 			BytesPerEvent:  float64(r.MemBytes) / total,
 		}
 	}
+	cur := measure(nil)
+	counter := &countObserver{}
+	hooked := measure(counter)
+	if counter.hops == 0 || counter.dels == 0 {
+		fail(fmt.Errorf("hooked run observed %d hops, %d deliveries", counter.hops, counter.dels))
+	}
 	rep := report{
-		Benchmark: "EngineQ10ATA",
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GoMaxProc: runtime.GOMAXPROCS(0),
-		Runs:      runs,
-		Current:   cur,
-		Baseline:  baseline,
-		Speedup:   cur.EventsPerSec / baseline.EventsPerSec,
+		Benchmark:      "EngineQ10ATA",
+		Date:           time.Now().UTC().Format("2006-01-02"),
+		GoVersion:      runtime.Version(),
+		GoMaxProc:      runtime.GOMAXPROCS(0),
+		Runs:           runs,
+		Current:        cur,
+		Baseline:       baseline,
+		Speedup:        cur.EventsPerSec / baseline.EventsPerSec,
+		Hooked:         &hooked,
+		HookOverheadNs: hooked.NsPerEvent - cur.NsPerEvent,
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -150,12 +179,21 @@ func main() {
 	}
 	fmt.Printf("EngineQ10ATA: %.3g events/s, %.1f ns/event, %.2g allocs/event (%.2fx baseline) -> %s\n",
 		cur.EventsPerSec, cur.NsPerEvent, cur.AllocsPerEvent, rep.Speedup, *out)
+	fmt.Printf("observer hook: %.1f ns/event hooked (%+.1f ns/event vs nil hook), %.2g allocs/event\n",
+		hooked.NsPerEvent, rep.HookOverheadNs, hooked.AllocsPerEvent)
 
 	if *check {
 		if err := checkAllocs(cur, *against); err != nil {
 			fail(err)
 		}
-		fmt.Printf("enginebench: allocs/event %.3g within 10x of recorded — ok\n", cur.AllocsPerEvent)
+		// The hook contract: observing adds dispatch time, never heap
+		// traffic. Gate the hooked run against the same recorded
+		// nil-hook envelope.
+		if err := checkAllocs(hooked, *against); err != nil {
+			fail(fmt.Errorf("with observer attached: %w", err))
+		}
+		fmt.Printf("enginebench: allocs/event %.3g nil-hook, %.3g hooked — both within 10x of recorded — ok\n",
+			cur.AllocsPerEvent, hooked.AllocsPerEvent)
 	}
 }
 

@@ -25,6 +25,10 @@ type Options struct {
 	// shared by all N chained broadcasts. Nil borrows from simnet's
 	// internal pool. Must not be shared by concurrent runs.
 	Scratch *simnet.Scratch
+	// Observe optionally streams every performed hop and delivery of
+	// all N chained broadcasts to an observability sink. Nil is the
+	// fast path.
+	Observe simnet.Observer
 }
 
 // Result aggregates a full serialized ATA broadcast.
@@ -53,7 +57,7 @@ func Sequential(g *topology.Graph, p simnet.Params, gen Generator, opts Options)
 	if opts.Copies {
 		res.Copies = simnet.NewCopyMatrix(g.N())
 	}
-	simOpts := simnet.Options{Copies: opts.Copies, Saturated: opts.Saturated}
+	simOpts := simnet.Options{Copies: opts.Copies, Saturated: opts.Saturated, Observe: opts.Observe}
 	start := simnet.Time(0)
 	for src := 0; src < g.N(); src++ {
 		r, err := net.RunScratch(gen(topology.Node(src), start, src), simOpts, opts.Scratch)

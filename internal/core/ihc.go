@@ -238,6 +238,11 @@ type Config struct {
 	// storage). The repair layer uses it to detour subsequent stages
 	// around links it has diagnosed dead.
 	PatchRoutes func(specs []simnet.PacketSpec)
+	// Observe, when non-nil, streams every performed hop and delivery
+	// of every stage to an observability sink (see simnet.Observer and
+	// internal/observe: metrics aggregators, live theorem oracles,
+	// trace exporters). Nil is the fast path.
+	Observe simnet.Observer
 }
 
 // Result aggregates an ATA broadcast execution.
@@ -328,6 +333,7 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 		Fault:            cfg.Fault,
 		RecordDeliveries: cfg.RecordDeliveries,
 		Control:          cfg.Control,
+		Observe:          cfg.Observe,
 	}
 	overlapLead := simnet.Time(0)
 	if cfg.Overlap {

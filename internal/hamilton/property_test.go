@@ -1,0 +1,156 @@
+package hamilton
+
+import (
+	"fmt"
+	"testing"
+
+	"ihc/internal/topology"
+)
+
+// The decomposition property suite: every generator the IHC layer can
+// ride on, checked against the class-Λ definition with independent
+// logic (not the package's own Verify* helpers, which the constructors
+// already run): each cycle visits all N nodes exactly once over edges
+// of the graph, no undirected edge appears in two cycles, the cycle
+// count is the family's γ/2, and where the theory promises a full
+// decomposition the cycles cover every edge of the graph.
+func TestDecompositionProperties(t *testing.T) {
+	type tc struct {
+		name   string
+		graph  *topology.Graph
+		cycles func() ([]Cycle, error)
+		want   int  // expected cycle count γ/2
+		cover  bool // cycles use every edge of the graph
+	}
+	var cases []tc
+	// Hypercubes Q3..Q10: ⌊m/2⌋ cycles, full cover for even m (odd m
+	// leaves the paper's perfect matching unused).
+	for m := 3; m <= 10; m++ {
+		m := m
+		cases = append(cases, tc{
+			name:   fmt.Sprintf("Q%d", m),
+			graph:  topology.Hypercube(m),
+			cycles: func() ([]Cycle, error) { return Hypercube(m) },
+			want:   m / 2,
+			cover:  m%2 == 0,
+		})
+	}
+	// Square tori SQ4..SQ8: always 2 cycles covering all 2m² edges.
+	for m := 4; m <= 8; m++ {
+		m := m
+		cases = append(cases, tc{
+			name:   fmt.Sprintf("SQ%d", m),
+			graph:  topology.SquareTorus(m),
+			cycles: func() ([]Cycle, error) { return SquareTorus(m) },
+			want:   2,
+			cover:  true,
+		})
+	}
+	// k-ary d-dim tori: d cycles covering all d·N edges.
+	for _, dims := range [][]int{{3, 3}, {4, 4}, {3, 3, 3}, {4, 4, 4}} {
+		dims := dims
+		cases = append(cases, tc{
+			name:   topology.TorusND(dims...).Name(),
+			graph:  topology.TorusND(dims...),
+			cycles: func() ([]Cycle, error) { return MultiTorus(dims...) },
+			want:   len(dims),
+			cover:  true,
+		})
+	}
+	// C-wrapped hexagonal meshes H2..H4: 3 cycles (one per axis)
+	// covering all 3N edges.
+	for m := 2; m <= 4; m++ {
+		m := m
+		cases = append(cases, tc{
+			name:   fmt.Sprintf("H%d", m),
+			graph:  topology.HexMesh(m),
+			cycles: func() ([]Cycle, error) { return HexMesh(m) },
+			want:   3,
+			cover:  true,
+		})
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			g := c.graph
+			cycles, err := c.cycles()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cycles) != c.want {
+				t.Fatalf("%d cycles, want γ/2 = %d", len(cycles), c.want)
+			}
+
+			n := g.N()
+			edgeUser := make(map[topology.Edge]int) // edge -> cycle index that used it
+			for ci, cyc := range cycles {
+				if len(cyc) != n {
+					t.Fatalf("cycle %d has %d nodes, graph has %d", ci, len(cyc), n)
+				}
+				visits := make([]int, n)
+				for i, v := range cyc {
+					if v < 0 || int(v) >= n {
+						t.Fatalf("cycle %d: node %d out of range", ci, v)
+					}
+					visits[v]++
+					w := cyc[(i+1)%n]
+					if !g.HasEdge(v, w) {
+						t.Fatalf("cycle %d: consecutive pair {%d,%d} is not an edge", ci, v, w)
+					}
+					e := topology.NewEdge(v, w)
+					if prev, used := edgeUser[e]; used {
+						t.Fatalf("edge {%d,%d} in both cycle %d and cycle %d", e.U, e.V, prev, ci)
+					}
+					edgeUser[e] = ci
+				}
+				for v, k := range visits {
+					if k != 1 {
+						t.Fatalf("cycle %d visits node %d %d times", ci, v, k)
+					}
+				}
+			}
+
+			if c.cover && len(edgeUser) != g.M() {
+				t.Fatalf("cycles cover %d edges, graph has %d — decomposition not full", len(edgeUser), g.M())
+			}
+			if !c.cover {
+				// Odd hypercubes: the leftover must be a perfect matching —
+				// every node incident to exactly one unused edge.
+				left := make([]int, n)
+				for _, e := range g.Edges() {
+					if _, used := edgeUser[e]; !used {
+						left[e.U]++
+						left[e.V]++
+					}
+				}
+				for v, k := range left {
+					if k != 1 {
+						t.Fatalf("node %d has %d unused incident edges, leftover is not a perfect matching", v, k)
+					}
+				}
+			}
+
+			// The directed doubling: γ arcs cycles, each node leaving on
+			// γ distinct arcs (the IHC channel structure).
+			directed := DirectedCycles(cycles)
+			if len(directed) != 2*len(cycles) {
+				t.Fatalf("%d directed cycles from %d undirected", len(directed), len(cycles))
+			}
+			outArcs := make(map[topology.Arc]int)
+			for di, dc := range directed {
+				for i, v := range dc {
+					a := topology.Arc{From: v, To: dc[(i+1)%n]}
+					if prev, used := outArcs[a]; used {
+						t.Fatalf("arc %d→%d in both directed cycles %d and %d", a.From, a.To, prev, di)
+					}
+					outArcs[a] = di
+				}
+			}
+			if len(outArcs) != 2*len(edgeUser) {
+				t.Fatalf("%d directed arcs from %d undirected edges", len(outArcs), len(edgeUser))
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"ihc/internal/model"
+	"ihc/internal/observe"
 	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 )
@@ -35,6 +36,19 @@ type Config struct {
 	// Stats, when non-nil, accumulates per-run wall-clock and simulator
 	// event counters (atomically) across all concurrent runs.
 	Stats *RunStats
+	// Metrics, when non-nil, aggregates the observability metrics of
+	// every simulation the experiments run: each sweep worker feeds a
+	// private observe.Metrics sink (no locking on the hot path) that is
+	// absorbed into this shared aggregate when the worker drains.
+	// Aggregation is merge-order independent, so the final snapshot is
+	// identical for every worker count.
+	Metrics *observe.Shared
+	// Trace, when non-nil, receives the raw per-hop observer stream of
+	// every simulation (e.g. an observe.JSONL or observe.ChromeTrace
+	// exporter). A trace sink is single-stream: it forces the worker
+	// pool to width 1 so the stream is the engine's deterministic
+	// sequential order.
+	Trace simnet.Observer
 }
 
 // params returns the effective timing parameters.

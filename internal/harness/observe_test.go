@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ihc/internal/observe"
+	"ihc/internal/simnet"
+)
+
+// runWithMetrics runs one experiment with a shared metrics aggregate
+// attached and returns its snapshot serialized to JSON.
+func runWithMetrics(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := observe.NewShared()
+	if _, err := e.Run(Config{Quick: true, Workers: workers, Metrics: sh}); err != nil {
+		t.Fatalf("%s with metrics: %v", id, err)
+	}
+	buf, err := json.Marshal(sh.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// The observability invariant mirrors the output one: per-worker metric
+// sinks absorbed into Config.Metrics yield a snapshot independent of the
+// pool width.
+func TestMetricsWorkerCountIndependent(t *testing.T) {
+	for _, id := range []string{"contention", "table2"} {
+		seq := runWithMetrics(t, id, 1)
+		if bytes.Contains(seq, []byte(`"hops":0,`)) {
+			t.Fatalf("%s: sequential metrics snapshot saw no hops", id)
+		}
+		for _, workers := range []int{2, 4} {
+			got := runWithMetrics(t, id, workers)
+			if !bytes.Equal(seq, got) {
+				t.Fatalf("%s: metrics snapshot differs at workers=%d\nseq: %s\ngot: %s", id, workers, seq, got)
+			}
+		}
+	}
+}
+
+// counting trace sink; also records the max goroutine-unsafe reentry it
+// would have seen if two workers ran concurrently (the pool must force
+// width 1 under a trace sink, so plain ints suffice and -race stays quiet).
+type countTrace struct {
+	hops, dels int
+}
+
+func (c *countTrace) OnHop(simnet.HopEvent) { c.hops++ }
+func (c *countTrace) OnDeliver(d simnet.Delivery) {
+	c.dels++
+}
+
+// A trace sink forces the pool sequential — the unsynchronized counter
+// above is safe and must see every hop of the run.
+func TestTraceForcesSequentialPool(t *testing.T) {
+	cfg := Config{Quick: true, Workers: 8, Trace: &countTrace{}}
+	if w := cfg.workers(); w != 1 {
+		t.Fatalf("workers() = %d with a trace sink, want 1", w)
+	}
+	e, err := ByID("contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countTrace{}
+	sh := observe.NewShared()
+	if _, err := e.Run(Config{Quick: true, Workers: 8, Trace: tr, Metrics: sh}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.hops == 0 || tr.dels == 0 {
+		t.Fatalf("trace sink saw %d hops, %d deliveries", tr.hops, tr.dels)
+	}
+	s := sh.Snapshot()
+	if int(s.Hops) != tr.hops || int(s.Deliveries) != tr.dels {
+		t.Fatalf("trace saw %d/%d, metrics aggregated %d/%d — sinks out of sync",
+			tr.hops, tr.dels, s.Hops, s.Deliveries)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ihc/internal/observe"
 	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 )
@@ -69,12 +70,53 @@ func (s *RunStats) Summary() string {
 	return msg
 }
 
-// workers resolves the effective worker-pool width.
+// workers resolves the effective worker-pool width. A raw trace sink
+// is inherently single-stream, so tracing forces sequential execution
+// regardless of the configured width — the exported stream is then the
+// engine's deterministic event order, every time.
 func (c Config) workers() int {
+	if c.Trace != nil {
+		return 1
+	}
 	if c.Workers > 0 {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Env is the execution environment a sweep worker hands to every point
+// it runs: reusable simulator working memory plus the observability
+// sink the point should attach to its simulation runs (nil when no
+// sink is configured — the engine's fast path).
+type Env struct {
+	Scratch *simnet.Scratch
+	Obs     simnet.Observer
+
+	metrics *observe.Metrics // this worker's private aggregator, absorbed at drain
+}
+
+// newEnv builds one worker's environment from the run Config.
+func newEnv(cfg Config) *Env {
+	env := &Env{Scratch: simnet.NewScratch()}
+	var obs []simnet.Observer
+	if cfg.Trace != nil {
+		obs = append(obs, cfg.Trace)
+	}
+	if cfg.Metrics != nil {
+		env.metrics = observe.NewMetrics()
+		obs = append(obs, env.metrics)
+	}
+	env.Obs = observe.Tee(obs...)
+	return env
+}
+
+// close merges the worker's private metrics into the shared aggregate.
+// Merging is commutative and associative over whole runs, so the final
+// snapshot is identical for every worker count and drain order.
+func (e *Env) close(cfg Config) {
+	if e.metrics != nil {
+		cfg.Metrics.Absorb(e.metrics)
+	}
 }
 
 // addEvents credits simulator events to the run's stats collector, when
@@ -88,13 +130,14 @@ func (c Config) addEvents(n int) {
 // sweep runs fn(0..n-1) — the independent points of one experiment sweep
 // — on a bounded pool of cfg.workers() goroutines and returns the
 // results in index order, so callers produce output identical to a
-// sequential loop. Each worker goroutine owns one simnet.Scratch, handed
-// to every point it runs, so the simulator's working memory is allocated
-// once per worker rather than once per point; points that do not
-// simulate simply ignore it. Each point is timed into cfg.Stats. On
-// failure the error of the lowest-indexed failing point is returned,
-// matching what a sequential loop would have surfaced first.
-func sweep[T any](cfg Config, n int, fn func(i int, sc *simnet.Scratch) (T, error)) ([]T, error) {
+// sequential loop. Each worker goroutine owns one Env (simulator
+// scratch plus, when configured, a private metrics sink absorbed into
+// cfg.Metrics when the worker drains), handed to every point it runs;
+// points that do not simulate simply ignore it. Each point is timed
+// into cfg.Stats. On failure the error of the lowest-indexed failing
+// point is returned, matching what a sequential loop would have
+// surfaced first.
+func sweep[T any](cfg Config, n int, fn func(i int, env *Env) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	workers := cfg.workers()
@@ -102,9 +145,10 @@ func sweep[T any](cfg Config, n int, fn func(i int, sc *simnet.Scratch) (T, erro
 		workers = n
 	}
 	if workers <= 1 {
-		sc := simnet.NewScratch()
+		env := newEnv(cfg)
+		defer env.close(cfg)
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = runPoint(cfg, i, sc, fn)
+			out[i], errs[i] = runPoint(cfg, i, env, fn)
 			if errs[i] != nil {
 				return nil, errs[i]
 			}
@@ -117,9 +161,10 @@ func sweep[T any](cfg Config, n int, fn func(i int, sc *simnet.Scratch) (T, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := simnet.NewScratch() // per-worker: never shared across goroutines
+			env := newEnv(cfg) // per-worker: never shared across goroutines
+			defer env.close(cfg)
 			for i := range idx {
-				out[i], errs[i] = runPoint(cfg, i, sc, fn)
+				out[i], errs[i] = runPoint(cfg, i, env, fn)
 			}
 		}()
 	}
@@ -136,9 +181,9 @@ func sweep[T any](cfg Config, n int, fn func(i int, sc *simnet.Scratch) (T, erro
 	return out, nil
 }
 
-func runPoint[T any](cfg Config, i int, sc *simnet.Scratch, fn func(int, *simnet.Scratch) (T, error)) (T, error) {
+func runPoint[T any](cfg Config, i int, env *Env, fn func(int, *Env) (T, error)) (T, error) {
 	start := time.Now()
-	v, err := fn(i, sc)
+	v, err := fn(i, env)
 	if cfg.Stats != nil {
 		cfg.Stats.record(time.Since(start), err)
 	}
@@ -150,8 +195,8 @@ type row []interface{}
 
 // sweepRows is sweep specialized to experiments whose points each
 // produce exactly one table row.
-func sweepRows(cfg Config, points []func(sc *simnet.Scratch) (row, error)) ([]row, error) {
-	return sweep(cfg, len(points), func(i int, sc *simnet.Scratch) (row, error) { return points[i](sc) })
+func sweepRows(cfg Config, points []func(env *Env) (row, error)) ([]row, error) {
+	return sweep(cfg, len(points), func(i int, env *Env) (row, error) { return points[i](env) })
 }
 
 // Report is one experiment's outcome in a batch run.

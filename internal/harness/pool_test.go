@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"testing"
 
-	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 )
 
@@ -67,7 +66,7 @@ func TestRunStatsPopulated(t *testing.T) {
 
 func TestSweepMergesInOrderAndReportsFirstError(t *testing.T) {
 	cfg := Config{Workers: 4}
-	out, err := sweep(cfg, 64, func(i int, _ *simnet.Scratch) (int, error) { return i * i, nil })
+	out, err := sweep(cfg, 64, func(i int, _ *Env) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +76,7 @@ func TestSweepMergesInOrderAndReportsFirstError(t *testing.T) {
 		}
 	}
 	// The lowest-indexed failure is surfaced, matching a sequential loop.
-	_, err = sweep(cfg, 64, func(i int, _ *simnet.Scratch) (int, error) {
+	_, err = sweep(cfg, 64, func(i int, _ *Env) (int, error) {
 		if i%10 == 3 {
 			return 0, fmt.Errorf("point %d failed", i)
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ihc/internal/campaign"
-	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 	"ihc/internal/topology"
 )
@@ -38,7 +37,7 @@ func runRecovery(cfg Config) ([]*tablefmt.Table, error) {
 		maxSafe int
 		reports []*campaign.RepairedReport
 	}
-	results, err := sweep(cfg, len(graphs), func(i int, _ *simnet.Scratch) (result, error) {
+	results, err := sweep(cfg, len(graphs), func(i int, _ *Env) (result, error) {
 		g := graphs[i]
 		x, err := newIHC(g)
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 
 	"ihc/internal/core"
 	"ihc/internal/model"
-	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 	"ihc/internal/topology"
 )
@@ -57,7 +56,7 @@ func runScaling(cfg Config) ([]*tablefmt.Table, error) {
 	t := tablefmt.New(
 		fmt.Sprintf("Engine scaling — IHC beyond the paper's Q10 (η=μ=%d, exactness preserved at scale)", eta),
 		"Network", "N", "Cycles run", "Injections", "Deliveries", "Events", "Measured", "Model", "Match")
-	rows, err := sweep(cfg, len(points), func(i int, sc *simnet.Scratch) (row, error) {
+	rows, err := sweep(cfg, len(points), func(i int, env *Env) (row, error) {
 		pt := points[i]
 		g := pt.graph()
 		x, err := newIHC(g)
@@ -65,7 +64,7 @@ func runScaling(cfg Config) ([]*tablefmt.Table, error) {
 			return nil, err
 		}
 		res, err := x.Run(core.Config{
-			Eta: eta, Params: p, Cycles: pt.cycles, SkipCopies: true, Scratch: sc,
+			Eta: eta, Params: p, Cycles: pt.cycles, SkipCopies: true, Scratch: env.Scratch, Observe: env.Obs,
 		})
 		if err != nil {
 			return nil, err

@@ -65,9 +65,10 @@ func runTable1(cfg Config) ([]*tablefmt.Table, error) {
 }
 
 // ihcMeasured runs IHC on a fresh network over g and returns the
-// measured finish, crediting simulator events to cfg.Stats. sc is the
-// calling sweep worker's reusable scratch (nil is fine).
-func ihcMeasured(cfg Config, g *topology.Graph, p simnet.Params, eta int, sc *simnet.Scratch) (simnet.Time, *core.Result, error) {
+// measured finish, crediting simulator events to cfg.Stats. env is the
+// calling sweep worker's environment: reusable scratch plus the
+// configured observer sink, both attached to the run.
+func ihcMeasured(cfg Config, g *topology.Graph, p simnet.Params, eta int, env *Env) (simnet.Time, *core.Result, error) {
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		return 0, nil, err
@@ -76,7 +77,7 @@ func ihcMeasured(cfg Config, g *topology.Graph, p simnet.Params, eta int, sc *si
 	if err != nil {
 		return 0, nil, err
 	}
-	res, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true, Scratch: sc})
+	res, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true, Scratch: env.Scratch, Observe: env.Obs})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -106,14 +107,14 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 		fmt.Sprintf("Table II — execution times, ρ=0 (τ_S=%d α=%d μ=%d, η=%d ticks)", p.TauS, p.Alpha, p.Mu, eta),
 		"Algorithm", "Network", "N", "Model", "Measured", "Measured-Model")
 
-	var points []func(sc *simnet.Scratch) (row, error)
+	var points []func(env *Env) (row, error)
 	// IHC on all three families.
 	for _, g := range []*topology.Graph{
 		topology.Hypercube(qDim), topology.SquareTorus(sqM), topology.HexMesh(hM),
 	} {
 		g := g
-		points = append(points, func(sc *simnet.Scratch) (row, error) {
-			measured, res, err := ihcMeasured(cfg, g, p, eta, sc)
+		points = append(points, func(env *Env) (row, error) {
+			measured, res, err := ihcMeasured(cfg, g, p, eta, env)
 			if err != nil {
 				return nil, err
 			}
@@ -125,8 +126,8 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 		})
 	}
 	points = append(points,
-		func(sc *simnet.Scratch) (row, error) {
-			vres, err := rs.ATA(qDim, p, atarun.Options{Scratch: sc})
+		func(env *Env) (row, error) {
+			vres, err := rs.ATA(qDim, p, atarun.Options{Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -134,8 +135,8 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 			vm := model.VRSATABest(mp, 1<<qDim)
 			return row{"VRS-ATA", fmt.Sprintf("Q%d", qDim), 1 << qDim, vm, vres.Finish, match(vres.Finish, vm)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
-			kres, err := ks.ATA(hM, p, atarun.Options{Scratch: sc})
+		func(env *Env) (row, error) {
+			kres, err := ks.ATA(hM, p, atarun.Options{Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -143,8 +144,8 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 			km := model.KSATABest(mp, hM)
 			return row{"KS-ATA", fmt.Sprintf("H%d", hM), topology.HexMeshSize(hM), km, kres.Finish, match(kres.Finish, km)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
-			sres, err := vsq.ATA(sqM, p, atarun.Options{Scratch: sc})
+		func(env *Env) (row, error) {
+			sres, err := vsq.ATA(sqM, p, atarun.Options{Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +153,7 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 			sm := model.VSQATABest(mp, sqM)
 			return row{"VSQ-ATA", fmt.Sprintf("SQ%d", sqM), sqM * sqM, sm, sres.Finish, match(sres.Finish, sm)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
+		func(env *Env) (row, error) {
 			fres, err := frs.Run(qDim, p, false)
 			if err != nil {
 				return nil, err
@@ -189,20 +190,20 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 	qDim, sqM, hM := table2Sizes(cfg.Quick)
 	n := 1 << qDim
 
-	points := []func(sc *simnet.Scratch) (simnet.Time, error){
-		func(sc *simnet.Scratch) (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.Hypercube(qDim), p, 2, sc)
+	points := []func(env *Env) (simnet.Time, error){
+		func(env *Env) (simnet.Time, error) {
+			f, _, err := ihcMeasured(cfg, topology.Hypercube(qDim), p, 2, env)
 			return f, err
 		},
-		func(sc *simnet.Scratch) (simnet.Time, error) {
-			vres, err := rs.ATA(qDim, p, atarun.Options{Scratch: sc})
+		func(env *Env) (simnet.Time, error) {
+			vres, err := rs.ATA(qDim, p, atarun.Options{Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return 0, err
 			}
 			cfg.addEvents(vres.Events)
 			return vres.Finish, nil
 		},
-		func(sc *simnet.Scratch) (simnet.Time, error) {
+		func(env *Env) (simnet.Time, error) {
 			fres, err := frs.Run(qDim, p, false)
 			if err != nil {
 				return 0, err
@@ -210,24 +211,24 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 			cfg.addEvents(fres.Events)
 			return fres.Finish, nil
 		},
-		func(sc *simnet.Scratch) (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.SquareTorus(sqM), p, 2, sc)
+		func(env *Env) (simnet.Time, error) {
+			f, _, err := ihcMeasured(cfg, topology.SquareTorus(sqM), p, 2, env)
 			return f, err
 		},
-		func(sc *simnet.Scratch) (simnet.Time, error) {
-			sres, err := vsq.ATA(sqM, p, atarun.Options{Scratch: sc})
+		func(env *Env) (simnet.Time, error) {
+			sres, err := vsq.ATA(sqM, p, atarun.Options{Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return 0, err
 			}
 			cfg.addEvents(sres.Events)
 			return sres.Finish, nil
 		},
-		func(sc *simnet.Scratch) (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.HexMesh(hM), p, 2, sc)
+		func(env *Env) (simnet.Time, error) {
+			f, _, err := ihcMeasured(cfg, topology.HexMesh(hM), p, 2, env)
 			return f, err
 		},
-		func(sc *simnet.Scratch) (simnet.Time, error) {
-			kres, err := ks.ATA(hM, p, atarun.Options{Scratch: sc})
+		func(env *Env) (simnet.Time, error) {
+			kres, err := ks.ATA(hM, p, atarun.Options{Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return 0, err
 			}
@@ -235,7 +236,7 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 			return kres.Finish, nil
 		},
 	}
-	fin, err := sweep(cfg, len(points), func(i int, sc *simnet.Scratch) (simnet.Time, error) { return points[i](sc) })
+	fin, err := sweep(cfg, len(points), func(i int, env *Env) (simnet.Time, error) { return points[i](env) })
 	if err != nil {
 		return nil, err
 	}
@@ -274,8 +275,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 		fmt.Sprintf("Table IV — worst-case times (every hop buffered + queued; τ_S=%d α=%d μ=%d D=%d)", p.TauS, p.Alpha, p.Mu, p.D),
 		"Algorithm", "Network", "Model (paper)", "Measured", "Measured-Model")
 
-	points := []func(sc *simnet.Scratch) (row, error){
-		func(sc *simnet.Scratch) (row, error) {
+	points := []func(env *Env) (row, error){
+		func(env *Env) (row, error) {
 			cycles, err := hamilton.Decompose(topology.Hypercube(qDim))
 			if err != nil {
 				return nil, err
@@ -284,7 +285,7 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := x.Run(core.Config{Eta: eta, Params: p, Saturated: true, SkipCopies: true, Scratch: sc})
+			res, err := x.Run(core.Config{Eta: eta, Params: p, Saturated: true, SkipCopies: true, Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -292,8 +293,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			im := model.IHCWorst(mp, n, eta)
 			return row{"IHC", fmt.Sprintf("Q%d", qDim), im, res.Finish, match(res.Finish, im)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
-			vres, err := rs.ATA(qDim, p, atarun.Options{Saturated: true, Scratch: sc})
+		func(env *Env) (row, error) {
+			vres, err := rs.ATA(qDim, p, atarun.Options{Saturated: true, Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -301,8 +302,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			vm := model.VRSATAWorst(mp, n)
 			return row{"VRS-ATA", fmt.Sprintf("Q%d", qDim), vm, vres.Finish, match(vres.Finish, vm)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
-			kres, err := ks.ATA(hM, p, atarun.Options{Saturated: true, Scratch: sc})
+		func(env *Env) (row, error) {
+			kres, err := ks.ATA(hM, p, atarun.Options{Saturated: true, Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -310,8 +311,8 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			km := model.KSATAWorst(mp, hM)
 			return row{"KS-ATA", fmt.Sprintf("H%d", hM), km, kres.Finish, match(kres.Finish, km)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
-			sres, err := vsq.ATA(sqM, p, atarun.Options{Saturated: true, Scratch: sc})
+		func(env *Env) (row, error) {
+			sres, err := vsq.ATA(sqM, p, atarun.Options{Saturated: true, Scratch: env.Scratch, Observe: env.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +320,7 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 			sm := model.VSQATAWorst(mp, sqM)
 			return row{"VSQ-ATA", fmt.Sprintf("SQ%d", sqM), sm, sres.Finish, match(sres.Finish, sm)}, nil
 		},
-		func(sc *simnet.Scratch) (row, error) {
+		func(env *Env) (row, error) {
 			// FRS's worst case only adds D per step (its packets are
 			// already store-and-forward); model it and measure with D
 			// folded into τ_S.

@@ -1,0 +1,117 @@
+package observe
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"ihc/internal/core"
+	"ihc/internal/hamilton"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+// fuzzStream is one recorded SQ4 run (η = 1 so the stream contains
+// buffered hops, contention, and μ-flit FIFO peaks — the interesting
+// aggregates) plus its reference single-sink snapshot, computed once.
+var fuzzStream struct {
+	once sync.Once
+	evs  []recEvent
+	ref  []byte
+	err  error
+}
+
+func loadFuzzStream(t testing.TB) ([]recEvent, []byte) {
+	t.Helper()
+	fuzzStream.once.Do(func() {
+		g := topology.SquareTorus(4)
+		cycles, err := hamilton.Decompose(g)
+		if err != nil {
+			fuzzStream.err = err
+			return
+		}
+		x, err := core.New(g, cycles)
+		if err != nil {
+			fuzzStream.err = err
+			return
+		}
+		rec := &recorder{}
+		p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+		if _, err := x.Run(core.Config{Eta: 1, Params: p, SkipCopies: true, Observe: rec}); err != nil {
+			fuzzStream.err = err
+			return
+		}
+		single := NewMetrics()
+		rec.replay(single)
+		buf, err := json.Marshal(single.Snapshot())
+		if err != nil {
+			fuzzStream.err = err
+			return
+		}
+		fuzzStream.evs, fuzzStream.ref = rec.evs, buf
+	})
+	if fuzzStream.err != nil {
+		t.Fatal(fuzzStream.err)
+	}
+	return fuzzStream.evs, fuzzStream.ref
+}
+
+// FuzzMetricsMerge: shard the observer stream of a real run over k
+// worker sinks — whole packets per sink, as the harness guarantees —
+// with a fuzzer-chosen assignment, then merge the sinks in a
+// fuzzer-chosen order. Every choice must reproduce the single-sink
+// snapshot byte for byte: aggregation is commutative and associative,
+// so the parallel harness's metrics are worker-count independent.
+func FuzzMetricsMerge(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 1, 2, 3})
+	f.Add(uint8(5), []byte{7, 3, 3, 0, 255, 9})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(16), []byte{1})
+	f.Fuzz(func(t *testing.T, nsinks uint8, assign []byte) {
+		evs, ref := loadFuzzStream(t)
+		k := int(nsinks)%16 + 1
+		sinks := make([]*Metrics, k)
+		for i := range sinks {
+			sinks[i] = NewMetrics()
+		}
+		pick := func(id simnet.PacketID) int {
+			h := int(id.Source)*131071 + id.Channel*8191 + id.Seq*31 + 7
+			if h < 0 {
+				h = -h
+			}
+			if len(assign) > 0 {
+				h += int(assign[h%len(assign)])
+			}
+			return h % k
+		}
+		for _, e := range evs {
+			sink := sinks[pick(e.id())]
+			if e.isHop {
+				sink.OnHop(e.hop)
+			} else {
+				sink.OnDeliver(e.del)
+			}
+		}
+		// Merge in a fuzzer-derived permutation (selection by rotating
+		// offsets from assign).
+		agg := NewMetrics()
+		remaining := make([]*Metrics, k)
+		copy(remaining, sinks)
+		for i := 0; len(remaining) > 0; i++ {
+			off := i
+			if len(assign) > 0 {
+				off += int(assign[i%len(assign)])
+			}
+			j := off % len(remaining)
+			agg.Merge(remaining[j])
+			remaining = append(remaining[:j], remaining[j+1:]...)
+		}
+		got, err := json.Marshal(agg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(ref) {
+			t.Fatalf("merge of %d sinks diverged from single sink\n got: %s\nwant: %s", k, got, ref)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package observe
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ihc/internal/core"
+	"ihc/internal/repair"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+// A contention-free SQ4 run (η = μ = 2): the aggregator must account
+// every hop and delivery, see a peak FIFO occupancy of one flit (pure
+// cut-through everywhere), and cover all 64 directed links evenly —
+// each with N-1 = 15 transits of μα = 40 ticks.
+func TestMetricsContentionFreeRun(t *testing.T) {
+	g := topology.SquareTorus(4)
+	x := newIHC(t, g)
+	m := NewMetrics()
+	res, err := x.Run(core.Config{Eta: 2, Params: testParams, SkipCopies: true, Observe: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contentions != 0 {
+		t.Fatalf("contention in a dedicated η = μ run: %d", res.Contentions)
+	}
+	s := m.Snapshot()
+
+	performed := res.Injections + res.CutThroughs + res.BufferedHops + res.Stalls
+	if s.Hops != performed {
+		t.Fatalf("snapshot hops = %d, counters say %d", s.Hops, performed)
+	}
+	if s.Deliveries != res.Deliveries {
+		t.Fatalf("snapshot deliveries = %d, result says %d", s.Deliveries, res.Deliveries)
+	}
+	if s.PeakFIFOFlits != 1 {
+		t.Fatalf("peak FIFO = %d flits, pure cut-through holds exactly 1", s.PeakFIFOFlits)
+	}
+	if len(s.Links) != 2*g.M() {
+		t.Fatalf("%d links observed, want all %d directed links", len(s.Links), 2*g.M())
+	}
+	n := g.N()
+	for _, l := range s.Links {
+		if l.Hops != n-1 {
+			t.Fatalf("link %d→%d carried %d hops, want %d", l.From, l.To, l.Hops, n-1)
+		}
+		if want := simnet.Time(n-1) * testParams.PacketTime(); l.Busy != want {
+			t.Fatalf("link %d→%d busy %d, want %d", l.From, l.To, l.Busy, want)
+		}
+		if l.MaxInterval != testParams.PacketTime() {
+			t.Fatalf("link %d→%d max interval %d, want μα = %d", l.From, l.To, l.MaxInterval, testParams.PacketTime())
+		}
+		if l.Utilization <= 0 || l.Utilization > 1 {
+			t.Fatalf("link %d→%d utilization %g out of (0,1]", l.From, l.To, l.Utilization)
+		}
+	}
+	if len(s.Stages) != 2 {
+		t.Fatalf("%d stages observed, want 2", len(s.Stages))
+	}
+	for _, st := range s.Stages {
+		wantInj := n / 2 * x.Gamma() // N/η initiators per cycle, γ cycles
+		if st.Injections != wantInj {
+			t.Fatalf("stage %d: %d injections, want %d", st.Stage, st.Injections, wantInj)
+		}
+		if st.Deliveries != wantInj*(n-1) {
+			t.Fatalf("stage %d: %d deliveries, want %d", st.Stage, st.Deliveries, wantInj*(n-1))
+		}
+		// Latency of a tee delivery k hops out is τ_S-free once in
+		// flight: kα + μα after injection departure; min is hop 1.
+		if min := testParams.Alpha + testParams.PacketTime(); st.LatencyP50 < min || st.LatencyMax < st.LatencyP99 ||
+			st.LatencyP99 < st.LatencyP90 || st.LatencyP90 < st.LatencyP50 {
+			t.Fatalf("stage %d: implausible latency quantiles %d/%d/%d/%d",
+				st.Stage, st.LatencyP50, st.LatencyP90, st.LatencyP99, st.LatencyMax)
+		}
+		// The last hop (index N-2) departs (N-2)α after injection and
+		// its tail lands μα later.
+		if want := simnet.Time(n-2)*testParams.Alpha + testParams.PacketTime(); st.LatencyMax != want {
+			t.Fatalf("stage %d: max latency %d, want (N-2)α + μα = %d", st.Stage, st.LatencyMax, want)
+		}
+	}
+	if s.Naks != 0 || s.Retransmissions != 0 || s.Corrupted != 0 {
+		t.Fatalf("phantom repair traffic: naks=%d retrans=%d corrupted=%d", s.Naks, s.Retransmissions, s.Corrupted)
+	}
+}
+
+// η < μ: buffering shows up as FIFO pressure (μ flits resident) and as
+// a wider busy-interval spread, without losing any hop accounting.
+func TestMetricsSeesContention(t *testing.T) {
+	x := newIHC(t, topology.SquareTorus(4))
+	m := NewMetrics()
+	res, err := x.Run(core.Config{Eta: 1, Params: testParams, SkipCopies: true, Observe: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contentions == 0 || res.BufferedHops == 0 {
+		t.Fatalf("η < μ run reported no contention (cont=%d buf=%d)", res.Contentions, res.BufferedHops)
+	}
+	s := m.Snapshot()
+	if s.PeakFIFOFlits != testParams.Mu {
+		t.Fatalf("peak FIFO = %d flits, buffered hops must reach μ = %d", s.PeakFIFOFlits, testParams.Mu)
+	}
+	buffered := 0
+	for _, nm := range s.Nodes {
+		buffered += nm.BufferedHops
+	}
+	if buffered != res.BufferedHops {
+		t.Fatalf("per-node buffered hops sum %d, result says %d", buffered, res.BufferedHops)
+	}
+}
+
+// Repair traffic classification: NAKs (negative Seq) and
+// retransmissions (Seq >= RetransSeqStride) are counted separately
+// from data-stage metrics.
+func TestMetricsClassifiesRepairTraffic(t *testing.T) {
+	m := NewMetrics()
+	mk := func(seq, hop int) simnet.HopEvent {
+		return simnet.HopEvent{
+			ID:  simnet.PacketID{Source: 1, Channel: 0, Seq: seq},
+			Hop: hop, From: 1, To: 2, Arc: 3, Kind: simnet.HopCut,
+			HeaderDepart: 100, TailArrive: 140, Flits: 2,
+		}
+	}
+	m.OnHop(mk(-1, 0))                      // NAK injection
+	m.OnHop(mk(-1, 1))                      // NAK relay
+	m.OnHop(mk(repair.RetransSeqStride, 0)) // retransmission
+	m.OnHop(mk(0, 0))                       // data
+	s := m.Snapshot()
+	if s.Naks != 1 || s.NakHops != 2 || s.Retransmissions != 1 {
+		t.Fatalf("naks=%d nakHops=%d retrans=%d, want 1/2/1", s.Naks, s.NakHops, s.Retransmissions)
+	}
+	if len(s.Stages) != 1 || s.Stages[0].Injections != 1 {
+		t.Fatalf("repair traffic leaked into stage metrics: %+v", s.Stages)
+	}
+}
+
+// Shared must aggregate worker sinks into the same snapshot as one
+// sink, both via Absorb and via direct (locked) observation.
+func TestSharedAbsorb(t *testing.T) {
+	_, rec := record(t, 2, testParams)
+	single := NewMetrics()
+	rec.replay(single)
+	want := snapshotJSON(t, single)
+
+	sh := NewShared()
+	w1, w2 := NewMetrics(), NewMetrics()
+	for _, e := range rec.evs {
+		sink := w1
+		if e.id().Channel%2 == 1 {
+			sink = w2
+		}
+		if e.isHop {
+			sink.OnHop(e.hop)
+		} else {
+			sink.OnDeliver(e.del)
+		}
+	}
+	sh.Absorb(w2)
+	sh.Absorb(w1)
+	buf, err := json.Marshal(sh.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("Shared.Absorb diverged from single sink")
+	}
+
+	direct := NewShared()
+	rec.replay(direct)
+	buf, err = json.Marshal(direct.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("Shared direct observation diverged from single sink")
+	}
+}

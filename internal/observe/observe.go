@@ -1,0 +1,61 @@
+// Package observe is the observability layer over the simulation
+// engine: pluggable sinks for the zero-cost-when-nil per-hop stream
+// exposed by simnet.Options.Observe.
+//
+// Three sink families are provided:
+//
+//   - Metrics: a mergeable aggregator of per-link utilization and
+//     busy-interval histograms, per-node FIFO occupancy high-water
+//     marks, per-stage injection/delivery latency percentiles, and
+//     NAK/retransmission counters from the repair layer. Per-worker
+//     sinks merge deterministically (Shared), like the harness's
+//     RunStats.
+//   - Oracle: a live checker of the paper's runtime invariants —
+//     Theorem 3's contention-freeness for η >= μ, per-FIFO occupancy
+//     <= μ flits, route conformance to the compiled directed
+//     Hamiltonian cycles with γ edge-disjoint copies per (receiver,
+//     source) pair, and Theorem 4's exact T = τ_S + (N-1)α for
+//     η = μ = 1.
+//   - JSONL / ChromeTrace: streaming exporters for offline inspection
+//     (chrome://tracing, Perfetto, jq).
+//
+// Sinks compose with Tee. All sinks are single-goroutine, matching the
+// engine's synchronous callback contract; Shared adds the mutex for
+// cross-worker aggregation.
+package observe
+
+import "ihc/internal/simnet"
+
+// tee fans one observer stream out to several sinks, in order.
+type tee []simnet.Observer
+
+func (t tee) OnHop(h simnet.HopEvent) {
+	for _, o := range t {
+		o.OnHop(h)
+	}
+}
+
+func (t tee) OnDeliver(d simnet.Delivery) {
+	for _, o := range t {
+		o.OnDeliver(d)
+	}
+}
+
+// Tee combines observers into one. Nil entries are dropped; Tee()
+// of no (or all-nil) observers returns nil, preserving the engine's
+// fast path, and a single observer is returned unwrapped.
+func Tee(obs ...simnet.Observer) simnet.Observer {
+	var live []simnet.Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}

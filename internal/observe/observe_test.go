@@ -1,0 +1,137 @@
+package observe
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ihc/internal/core"
+	"ihc/internal/hamilton"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+var testParams = simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+
+func newIHC(t testing.TB, g *topology.Graph) *core.IHC {
+	t.Helper()
+	cycles, err := hamilton.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := core.New(g, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// recEvent is one recorded observer callback, replayable into sinks.
+type recEvent struct {
+	hop   simnet.HopEvent
+	del   simnet.Delivery
+	isHop bool
+}
+
+func (e recEvent) id() simnet.PacketID {
+	if e.isHop {
+		return e.hop.ID
+	}
+	return e.del.ID
+}
+
+// recorder captures the observer stream for later replay.
+type recorder struct {
+	evs []recEvent
+}
+
+func (r *recorder) OnHop(h simnet.HopEvent) {
+	r.evs = append(r.evs, recEvent{hop: h, isHop: true})
+}
+
+func (r *recorder) OnDeliver(d simnet.Delivery) {
+	r.evs = append(r.evs, recEvent{del: d})
+}
+
+func (r *recorder) replay(o simnet.Observer) {
+	for _, e := range r.evs {
+		if e.isHop {
+			o.OnHop(e.hop)
+		} else {
+			o.OnDeliver(e.del)
+		}
+	}
+}
+
+// record runs an SQ4 IHC broadcast once and returns the full stream.
+func record(t testing.TB, eta int, p simnet.Params) (*core.IHC, *recorder) {
+	t.Helper()
+	x := newIHC(t, topology.SquareTorus(4))
+	rec := &recorder{}
+	if _, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true, Observe: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return x, rec
+}
+
+type countObserver struct{ hops, dels int }
+
+func (c *countObserver) OnHop(simnet.HopEvent)     { c.hops++ }
+func (c *countObserver) OnDeliver(simnet.Delivery) { c.dels++ }
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty Tee must collapse to nil")
+	}
+	a := &countObserver{}
+	if Tee(nil, a) != simnet.Observer(a) {
+		t.Fatal("single-sink Tee must unwrap")
+	}
+	b := &countObserver{}
+	_, rec := record(t, 2, testParams)
+	rec.replay(Tee(a, nil, b))
+	if a.hops != b.hops || a.dels != b.dels || a.hops == 0 || a.dels == 0 {
+		t.Fatalf("tee fan-out mismatch: a=%d/%d b=%d/%d", a.hops, a.dels, b.hops, b.dels)
+	}
+}
+
+func snapshotJSON(t *testing.T, m *Metrics) []byte {
+	t.Helper()
+	buf, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// Sharding the stream by packet over several sinks and merging them in
+// any order must reproduce the single-sink snapshot exactly.
+func TestMetricsMergeEqualsSingleSink(t *testing.T) {
+	_, rec := record(t, 2, testParams)
+	single := NewMetrics()
+	rec.replay(single)
+	want := snapshotJSON(t, single)
+
+	for _, nsinks := range []int{2, 3, 5} {
+		sinks := make([]*Metrics, nsinks)
+		for i := range sinks {
+			sinks[i] = NewMetrics()
+		}
+		for _, e := range rec.evs {
+			id := e.id()
+			sink := sinks[(int(id.Source)*31+id.Channel*7+id.Seq)%nsinks]
+			if e.isHop {
+				sink.OnHop(e.hop)
+			} else {
+				sink.OnDeliver(e.del)
+			}
+		}
+		// Merge back to front, a different order than front to back.
+		agg := NewMetrics()
+		for i := nsinks - 1; i >= 0; i-- {
+			agg.Merge(sinks[i])
+		}
+		if got := snapshotJSON(t, agg); string(got) != string(want) {
+			t.Fatalf("%d-sink merge diverged from single sink:\n got %s\nwant %s", nsinks, got, want)
+		}
+	}
+}

@@ -495,11 +495,55 @@ func (m *Manager) fireRetrans(o *origin, at simnet.Time) {
 	}
 }
 
-// retransSeqStride keeps retransmission sequence numbers disjoint from
+// RetransSeqStride keeps retransmission sequence numbers disjoint from
 // stage indices (Seq = stage < N for data packets) while staying
 // non-negative, so graders count them as genuine copies yet tests can
 // still tell them apart.
-const retransSeqStride = 1 << 20
+const RetransSeqStride = 1 << 20
+
+// retransSeqStride is the historical private alias.
+const retransSeqStride = RetransSeqStride
+
+// Traffic classifies a packet by the repair layer's sequence-number
+// conventions; see Classify.
+type Traffic int
+
+const (
+	// TrafficData is an original stage packet (Seq = stage index).
+	TrafficData Traffic = iota
+	// TrafficNak is a negative-Seq NAK traveling back toward a source.
+	TrafficNak
+	// TrafficRetransmission is a recovery copy re-injected after a
+	// deadline miss (Seq = stage + RetransSeqStride·attempt).
+	TrafficRetransmission
+)
+
+func (t Traffic) String() string {
+	switch t {
+	case TrafficData:
+		return "data"
+	case TrafficNak:
+		return "nak"
+	case TrafficRetransmission:
+		return "retransmission"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify reports which traffic class a packet's sequence number
+// encodes. Observability sinks use it to separate repair-control
+// traffic from the broadcast payload stream.
+func Classify(id simnet.PacketID) Traffic {
+	switch {
+	case id.Seq < 0:
+		return TrafficNak
+	case id.Seq >= RetransSeqStride:
+		return TrafficRetransmission
+	default:
+		return TrafficData
+	}
+}
 
 // trackAt records tr at spec index idx. Runtime.Inject hands out
 // consecutive indices, so idx is normally exactly len(tracked).

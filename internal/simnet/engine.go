@@ -142,6 +142,11 @@ type Options struct {
 	// new packets mid-run — the machinery behind the repair layer. Nil
 	// costs one predictable branch per event and one per delivery.
 	Control Controller
+	// Observe, when non-nil, streams every performed hop and every
+	// delivery to an observability sink (see Observer and
+	// internal/observe). Nil costs one predictable branch per event and
+	// one per delivery, preserving the allocation-free hot path.
+	Observe Observer
 }
 
 // runState is the working state of one Run. It lives inside a Scratch so
@@ -510,6 +515,18 @@ func (st *runState) handle(ev event) {
 			HeaderDepart: depart, TailArrive: tailAtNext, Blocked: blocked,
 		})
 	}
+	if st.opts.Observe != nil {
+		flits := p.Mu
+		if spec.Flits > 0 {
+			flits = spec.Flits
+		}
+		st.opts.Observe.OnHop(HopEvent{
+			ID: spec.ID, Hop: int(ev.hop), From: from, To: to,
+			Arc:  int(st.arcs[st.arcOff[ev.pkt]+ev.hop]),
+			Kind: kind, HeaderDepart: depart, TailArrive: tailAtNext,
+			Flits: flits, Blocked: blocked,
+		})
+	}
 	// The next node receives a copy if it is the final node, or by the
 	// tee operation while the packet passes through.
 	if ev.hop == last || spec.Tee {
@@ -579,6 +596,12 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 	}
 	if st.opts.RecordDeliveries {
 		st.res.Deliveriesv = append(st.res.Deliveriesv, Delivery{
+			ID: id, Node: node, At: at,
+			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
+		})
+	}
+	if st.opts.Observe != nil {
+		st.opts.Observe.OnDeliver(Delivery{
 			ID: id, Node: node, At: at,
 			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
 		})

@@ -1,0 +1,126 @@
+package simnet
+
+import (
+	"testing"
+
+	"ihc/internal/topology"
+)
+
+// recObserver records the full observed stream.
+type recObserver struct {
+	hops       []HopEvent
+	deliveries []Delivery
+}
+
+func (o *recObserver) OnHop(h HopEvent)     { o.hops = append(o.hops, h) }
+func (o *recObserver) OnDeliver(d Delivery) { o.deliveries = append(o.deliveries, d) }
+
+// The observer sees exactly the performed hops (matching the per-hop
+// counters and the recorded traces) and exactly the accounted
+// deliveries, and its presence does not perturb the run.
+func TestObserverSeesAllHopsAndDeliveries(t *testing.T) {
+	g := topology.Cycle(12)
+	p := dedicated(2)
+	specs := []PacketSpec{
+		{ID: PacketID{Source: 0, Channel: 0}, Route: pathRoute(11), Tee: true},
+		{ID: PacketID{Source: 0, Channel: 1}, Route: pathRoute(7), Inject: 40},
+		{ID: PacketID{Source: 0, Channel: 2, Seq: 3}, Route: pathRoute(5), Inject: 80, Flits: 5},
+	}
+	base := mustRun(t, g, p, specs, Options{Trace: true, RecordDeliveries: true})
+
+	obs := &recObserver{}
+	res := mustRun(t, g, p, specs, Options{Trace: true, RecordDeliveries: true, Observe: obs})
+
+	if res.Finish != base.Finish || res.Events != base.Events || res.Deliveries != base.Deliveries {
+		t.Fatalf("observer perturbed the run: finish %d/%d events %d/%d deliveries %d/%d",
+			res.Finish, base.Finish, res.Events, base.Events, res.Deliveries, base.Deliveries)
+	}
+
+	performed := res.Injections + res.CutThroughs + res.BufferedHops + res.Stalls
+	if len(obs.hops) != performed {
+		t.Fatalf("observed %d hops, counters say %d performed", len(obs.hops), performed)
+	}
+	if len(obs.deliveries) != res.Deliveries {
+		t.Fatalf("observed %d deliveries, result says %d", len(obs.deliveries), res.Deliveries)
+	}
+
+	// Each observed hop must be byte-equal to the corresponding trace
+	// entry, carry the right arc id and the effective flit count.
+	seen := map[PacketID]int{}
+	arcs := g.Arcs()
+	for _, h := range obs.hops {
+		k := seen[h.ID]
+		seen[h.ID] = k + 1
+		tr := res.Traces[h.ID]
+		if k >= len(tr) {
+			t.Fatalf("packet %v: observed %d hops, trace has %d", h.ID, k+1, len(tr))
+		}
+		want := tr[k]
+		if h.From != want.From || h.To != want.To || h.Kind != want.Kind ||
+			h.HeaderDepart != want.HeaderDepart || h.TailArrive != want.TailArrive ||
+			h.Blocked != want.Blocked || h.Hop != k {
+			t.Fatalf("packet %v hop %d: observed %+v, trace %+v", h.ID, k, h, want)
+		}
+		if h.Arc < 0 || h.Arc >= len(arcs) || arcs[h.Arc].From != h.From || arcs[h.Arc].To != h.To {
+			t.Fatalf("packet %v hop %d: arc id %d does not resolve to %d→%d", h.ID, k, h.Arc, h.From, h.To)
+		}
+		wantFlits := p.Mu
+		if h.ID.Channel == 2 {
+			wantFlits = 5
+		}
+		if h.Flits != wantFlits {
+			t.Fatalf("packet %v hop %d: flits = %d, want %d", h.ID, k, h.Flits, wantFlits)
+		}
+	}
+	for id, tr := range res.Traces {
+		if seen[id] != len(tr) {
+			t.Fatalf("packet %v: observed %d hops, trace has %d", id, seen[id], len(tr))
+		}
+	}
+	for i, d := range obs.deliveries {
+		want := res.Deliveriesv[i]
+		if d != want {
+			t.Fatalf("delivery %d: observed %+v, recorded %+v", i, d, want)
+		}
+	}
+}
+
+// A FaultDrop cancels the hop before the link is acquired; the observer
+// must never see the canceled hop nor any downstream delivery of the
+// killed copy, and corrupted copies must be flagged on OnDeliver.
+func TestObserverSkipsDroppedHops(t *testing.T) {
+	g := topology.Cycle(12)
+	p := dedicated(2)
+	specs := []PacketSpec{
+		{ID: PacketID{Source: 0, Channel: 0}, Route: pathRoute(6), Tee: true},
+		{ID: PacketID{Source: 0, Channel: 1}, Route: pathRoute(6), Inject: 1000, Tee: true},
+	}
+	hook := hookFunc(func(id PacketID, hop int, from, to topology.Node, depart Time) FaultAction {
+		if id.Channel == 0 && hop == 3 {
+			return FaultDrop
+		}
+		if id.Channel == 1 && hop == 2 {
+			return FaultCorrupt
+		}
+		return FaultNone
+	})
+	obs := &recObserver{}
+	res := mustRun(t, g, p, specs, Options{Fault: hook, RecordDeliveries: true, Observe: obs})
+	if res.FaultDrops != 1 || res.FaultTaints != 1 {
+		t.Fatalf("drops=%d taints=%d, want 1 and 1", res.FaultDrops, res.FaultTaints)
+	}
+	for _, h := range obs.hops {
+		if h.ID.Channel == 0 && h.Hop >= 3 {
+			t.Fatalf("observed hop %d of the dropped packet", h.Hop)
+		}
+	}
+	if len(obs.deliveries) != res.Deliveries {
+		t.Fatalf("observed %d deliveries, result says %d", len(obs.deliveries), res.Deliveries)
+	}
+	for _, d := range obs.deliveries {
+		wantCorrupt := d.ID.Channel == 1 && d.Node >= 3
+		if d.Corrupted != wantCorrupt {
+			t.Fatalf("delivery %+v: corrupted = %v, want %v", d, d.Corrupted, wantCorrupt)
+		}
+	}
+}
