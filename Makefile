@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine recovery-quick oracle-quick verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick verify
 
 all: verify
 
@@ -23,9 +23,11 @@ bench:
 
 # Re-measure the engine's headline Q10 ATA microbenchmark and record
 # events/sec, ns/event, and allocs/event (with the pre-flat-array
-# baseline for comparison) in BENCH_engine.json.
+# baseline for comparison) in BENCH_engine.json, plus the sharded
+# engine's multi-core scaling series at 1/2/4/8 workers (each point
+# re-checks event-count determinism against the sequential run).
 bench-engine:
-	$(GO) run ./cmd/enginebench -o BENCH_engine.json
+	$(GO) run ./cmd/enginebench -o BENCH_engine.json -engine-workers 1,2,4,8
 
 # Run the adversarial fault campaign over sq4,q4,q6,h3 and record the
 # measured tolerance frontier per topology plus campaign throughput
@@ -51,6 +53,23 @@ fuzz:
 smoke-engine:
 	$(GO) run ./cmd/enginebench -quick -check -o /dev/null
 
+# Quick sharded-engine equivalence: the scaling experiment's quick
+# points, once sequential and once sharded across 4 goroutines, must
+# render byte-identical tables (stderr carries the wall-clock line and
+# is discarded); then the engine equivalence/aliasing tests re-run
+# under the race detector.
+sharded-quick:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/ihcbench -quick -run scaling >$$tmp/seq.txt 2>/dev/null; \
+	$(GO) run ./cmd/ihcbench -quick -run scaling -engine-workers 4 >$$tmp/shard.txt 2>/dev/null; \
+	if cmp -s $$tmp/seq.txt $$tmp/shard.txt; then \
+		echo "sharded-quick: sharded output byte-identical to sequential"; rm -rf $$tmp; \
+	else \
+		echo "sharded-quick: sharded output DIVERGED from sequential:"; \
+		diff $$tmp/seq.txt $$tmp/shard.txt; rm -rf $$tmp; exit 1; \
+	fi
+	$(GO) test -race -run 'Sharded|ScratchReuse|CompiledPath|BackgroundSeed' ./internal/simnet ./internal/core
+
 # Quick self-healing sweep: the repaired broken-link frontier must beat
 # the static γ bound on every topology (exits non-zero otherwise).
 recovery-quick:
@@ -71,6 +90,6 @@ oracle-quick:
 
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean),
-# then the engine-allocation smoke, the quick recovery sweep, and the
-# quick oracle sweep.
-verify: vet build test race smoke-engine recovery-quick oracle-quick
+# then the engine-allocation smoke, the sharded-engine equivalence
+# smoke, the quick recovery sweep, and the quick oracle sweep.
+verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick

@@ -148,7 +148,7 @@ func BenchmarkEngineQ10ATA(b *testing.B) {
 	}
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 	b.ResetTimer()
-	var events int
+	var events int64
 	for i := 0; i < b.N; i++ {
 		res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true})
 		if err != nil {

@@ -50,6 +50,7 @@ func main() {
 		algo      = flag.String("algo", "ihc", "algorithm: ihc, vrs, ks, vsq, frs")
 		eta       = flag.String("eta", "2", "IHC interleaving distance η, or a comma-separated list to sweep")
 		workers   = flag.Int("workers", 0, "worker-pool width for η sweeps (0 = GOMAXPROCS, 1 = sequential)")
+		engineW   = flag.Int("engine-workers", 0, "shard each simulation run across this many goroutines (0/1 = sequential engine; results are byte-identical)")
 		overlap   = flag.Bool("overlap", false, "IHC: overlap stages (modified algorithm)")
 		taus      = flag.Int64("taus", 100, "startup τ_S (ticks)")
 		alpha     = flag.Int64("alpha", 20, "cut-through delay α (ticks)")
@@ -165,6 +166,7 @@ func main() {
 			res, err := x.Run(core.Config{
 				Eta: etas[i], Params: p, Overlap: *overlap, Saturated: *saturated,
 				SkipCopies: !*verify, Observe: observe.Tee(sinks...),
+				EngineWorkers: *engineW,
 			})
 			outs[i] = out{res, err, met, orc}
 		}
@@ -240,6 +242,7 @@ func main() {
 		}
 		res, gamma, err := runSerialized(*algo, g, p, atarun.Options{
 			Copies: *verify, Saturated: *saturated, Observe: observe.Tee(sinks...),
+			EngineWorkers: *engineW,
 		})
 		if err != nil {
 			fail(err)
@@ -261,6 +264,9 @@ func main() {
 	case "frs":
 		if trace != nil || *metricsF || *oracleF || *oracleS {
 			fail(fmt.Errorf("frs runs on the lock-step simulator, which has no per-hop observer"))
+		}
+		if *engineW > 1 {
+			fail(fmt.Errorf("frs runs on the lock-step simulator; -engine-workers does not apply"))
 		}
 		m, ok := hypercubeDim(g)
 		if !ok {

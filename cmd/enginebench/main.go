@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,7 +35,7 @@ import (
 
 // metrics is one engine measurement over the Q10 ATA workload.
 type metrics struct {
-	EventsPerRun   int     `json:"events_per_run"`
+	EventsPerRun   int64   `json:"events_per_run"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
@@ -66,6 +68,37 @@ type report struct {
 	// ns/event.
 	Hooked         *metrics `json:"hooked_observer,omitempty"`
 	HookOverheadNs float64  `json:"hook_overhead_ns_per_event,omitempty"`
+	// EngineWorkersSeries records the same workload under the sharded
+	// engine at each requested worker count (-engine-workers) — the
+	// multi-core scaling curve behind the paper's Q16 headline. Each
+	// point re-checks that the run's event count matches the sequential
+	// measurement, so the series doubles as a determinism smoke.
+	EngineWorkersSeries []workerPoint `json:"engine_workers_series,omitempty"`
+}
+
+// workerPoint is one point of the sharded-engine scaling series.
+type workerPoint struct {
+	Workers      int     `json:"workers"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	Speedup      float64 `json:"speedup_vs_sequential"`
+}
+
+// parseWorkerList parses the -engine-workers flag: a comma-separated
+// list of positive worker counts, empty meaning no series.
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("enginebench: bad -engine-workers entry %q (want positive integers)", f)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // countObserver is the cheapest possible live sink: the measured hooked
@@ -82,7 +115,12 @@ func main() {
 	quick := flag.Bool("quick", false, "single measured run instead of a calibrated benchmark loop")
 	check := flag.Bool("check", false, "fail if allocs/event exceeds 10x the value recorded in -against")
 	against := flag.String("against", "BENCH_engine.json", "recorded report -check compares against")
+	workerList := flag.String("engine-workers", "", "comma-separated sharded-engine worker counts to record as a scaling series (e.g. 1,2,4,8)")
 	flag.Parse()
+	workerCounts, err := parseWorkerList(*workerList)
+	if err != nil {
+		fail(err)
+	}
 
 	g := topology.Hypercube(10)
 	cycles, err := hamilton.Hypercube(10)
@@ -96,13 +134,18 @@ func main() {
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 
 	runs := 1
-	measure := func(obs simnet.Observer) metrics {
-		if *quick {
+	measure := func(obs simnet.Observer, workers int) metrics {
+		cfg := core.Config{Eta: 2, Params: p, SkipCopies: true, Observe: obs, EngineWorkers: workers}
+		if *quick || workers > 1 {
+			// Worker-series points are always single measured runs: the
+			// series is a scaling curve, not an allocation gate, and a
+			// calibrated loop per worker count would multiply the wall
+			// clock by the series length.
 			var ms0, ms1 runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
 			t0 := time.Now()
-			res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true, Observe: obs})
+			res, err := x.Run(cfg)
 			elapsed := time.Since(t0)
 			runtime.ReadMemStats(&ms1)
 			if err != nil {
@@ -120,11 +163,11 @@ func main() {
 				BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
 			}
 		}
-		var events int
+		var events int64
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := x.Run(core.Config{Eta: 2, Params: p, SkipCopies: true, Observe: obs})
+				res, err := x.Run(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -146,9 +189,9 @@ func main() {
 			BytesPerEvent:  float64(r.MemBytes) / total,
 		}
 	}
-	cur := measure(nil)
+	cur := measure(nil, 1)
 	counter := &countObserver{}
-	hooked := measure(counter)
+	hooked := measure(counter, 1)
 	if counter.hops == 0 || counter.dels == 0 {
 		fail(fmt.Errorf("hooked run observed %d hops, %d deliveries", counter.hops, counter.dels))
 	}
@@ -163,6 +206,19 @@ func main() {
 		Speedup:        cur.EventsPerSec / baseline.EventsPerSec,
 		Hooked:         &hooked,
 		HookOverheadNs: hooked.NsPerEvent - cur.NsPerEvent,
+	}
+	for _, w := range workerCounts {
+		m := measure(nil, w)
+		if m.EventsPerRun != cur.EventsPerRun {
+			fail(fmt.Errorf("engine-workers=%d processed %d events, sequential %d — sharded run diverged",
+				w, m.EventsPerRun, cur.EventsPerRun))
+		}
+		rep.EngineWorkersSeries = append(rep.EngineWorkersSeries, workerPoint{
+			Workers:      w,
+			EventsPerSec: m.EventsPerSec,
+			NsPerEvent:   m.NsPerEvent,
+			Speedup:      m.EventsPerSec / cur.EventsPerSec,
+		})
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -181,6 +237,10 @@ func main() {
 		cur.EventsPerSec, cur.NsPerEvent, cur.AllocsPerEvent, rep.Speedup, *out)
 	fmt.Printf("observer hook: %.1f ns/event hooked (%+.1f ns/event vs nil hook), %.2g allocs/event\n",
 		hooked.NsPerEvent, rep.HookOverheadNs, hooked.AllocsPerEvent)
+	for _, pt := range rep.EngineWorkersSeries {
+		fmt.Printf("engine-workers=%d: %.3g events/s, %.1f ns/event (%.2fx sequential)\n",
+			pt.Workers, pt.EventsPerSec, pt.NsPerEvent, pt.Speedup)
+	}
 
 	if *check {
 		if err := checkAllocs(cur, *against); err != nil {

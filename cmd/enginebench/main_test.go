@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckAllocsFailsLoudly pins the -check contract: a missing,
+// corrupt, or degenerate -against report must fail the gate with a clear
+// error, never let it silently pass; a genuine regression trips it; a
+// measurement within the envelope passes.
+func TestCheckAllocsFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `{"current": {"allocs_per_event": 1e-5}}`)
+	corrupt := write("corrupt.json", `{"current": {"allocs_per_event":`)
+	zero := write("zero.json", `{"current": {"allocs_per_event": 0}}`)
+	empty := write("empty.json", `{}`)
+
+	cases := []struct {
+		name    string
+		cur     metrics
+		against string
+		wantErr string
+	}{
+		{"missing file", metrics{AllocsPerEvent: 1e-5}, filepath.Join(dir, "nope.json"), "reading recorded report"},
+		{"corrupt json", metrics{AllocsPerEvent: 1e-5}, corrupt, "parsing"},
+		{"zero recorded", metrics{AllocsPerEvent: 1e-5}, zero, "non-positive"},
+		{"empty report", metrics{AllocsPerEvent: 1e-5}, empty, "non-positive"},
+		{"regression", metrics{AllocsPerEvent: 1.1e-4}, good, "regressed"},
+		{"pass", metrics{AllocsPerEvent: 2e-5}, good, ""},
+		{"pass at limit", metrics{AllocsPerEvent: 9.9e-5}, good, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkAllocs(tc.cur, tc.against)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected gate failure: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("gate passed silently, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseWorkerList covers the -engine-workers flag parsing.
+func TestParseWorkerList(t *testing.T) {
+	got, err := parseWorkerList("1,2,4,8")
+	if err != nil || len(got) != 4 || got[0] != 1 || got[3] != 8 {
+		t.Fatalf("parseWorkerList(1,2,4,8) = %v, %v", got, err)
+	}
+	if ws, err := parseWorkerList(""); err != nil || ws != nil {
+		t.Fatalf("empty list: %v, %v", ws, err)
+	}
+	for _, bad := range []string{"0", "a", "1,,2", "-3"} {
+		if _, err := parseWorkerList(bad); err == nil {
+			t.Errorf("parseWorkerList(%q) accepted", bad)
+		}
+	}
+}

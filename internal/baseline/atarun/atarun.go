@@ -29,6 +29,10 @@ type Options struct {
 	// all N chained broadcasts to an observability sink. Nil is the
 	// fast path.
 	Observe simnet.Observer
+	// EngineWorkers shards each chained broadcast's event loop across
+	// that many goroutines (simnet.Options.EngineWorkers); 0 or 1 runs
+	// the sequential engine. Results are byte-identical either way.
+	EngineWorkers int
 }
 
 // Result aggregates a full serialized ATA broadcast.
@@ -41,7 +45,7 @@ type Result struct {
 	BufferedHops    int
 	Injections      int
 	Deliveries      int
-	Events          int
+	Events          int64
 	LinkBusy        simnet.Time
 	Copies          *simnet.CopyMatrix
 }
@@ -57,7 +61,10 @@ func Sequential(g *topology.Graph, p simnet.Params, gen Generator, opts Options)
 	if opts.Copies {
 		res.Copies = simnet.NewCopyMatrix(g.N())
 	}
-	simOpts := simnet.Options{Copies: opts.Copies, Saturated: opts.Saturated, Observe: opts.Observe}
+	simOpts := simnet.Options{
+		Copies: opts.Copies, Saturated: opts.Saturated, Observe: opts.Observe,
+		EngineWorkers: opts.EngineWorkers,
+	}
 	start := simnet.Time(0)
 	for src := 0; src < g.N(); src++ {
 		r, err := net.RunScratch(gen(topology.Node(src), start, src), simOpts, opts.Scratch)

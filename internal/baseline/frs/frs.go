@@ -165,7 +165,7 @@ type Result struct {
 	Finish      simnet.Time
 	Contentions int
 	Injections  int
-	Events      int
+	Events      int64
 	LinkBusy    simnet.Time
 	Copies      *simnet.CopyMatrix // from the content model
 }

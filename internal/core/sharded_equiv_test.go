@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ihc/internal/hamilton"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+)
+
+// TestShardedEquivalenceIHC is the issue's acceptance matrix: full IHC
+// ATA broadcasts on SQ4, Q6, and T4x4x4 must produce byte-identical
+// results under the sharded engine at 1, 2, 4, and 7 workers (7 leaves a
+// ragged final shard), including the ordered delivery log and the
+// Theorem 4 copy matrix, which is additionally re-verified per worker
+// count so a miscounted copy cannot hide behind a matching makespan.
+func TestShardedEquivalenceIHC(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"SQ4", topology.SquareTorus(4)},
+		{"Q6", topology.Hypercube(6)},
+		{"T4x4x4", topology.TorusND(4, 4, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cycles, err := hamilton.Decompose(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := New(tc.g, cycles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{
+				Eta:              2,
+				Params:           simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37},
+				RecordDeliveries: true,
+			}
+			want, err := x.Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := want.Copies.VerifyATA(x.Gamma()); err != nil {
+				t.Fatalf("sequential reference violates ATA postcondition: %v", err)
+			}
+			for _, w := range []int{1, 2, 4, 7} {
+				cfg := base
+				cfg.EngineWorkers = w
+				got, err := x.Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got.Finish != want.Finish || got.Contentions != want.Contentions ||
+					got.Deliveries != want.Deliveries || got.Events != want.Events ||
+					got.CutThroughs != want.CutThroughs || got.Injections != want.Injections ||
+					got.LinkBusy != want.LinkBusy {
+					t.Errorf("workers=%d: aggregate result differs:\n got %+v\nwant %+v", w, got, want)
+				}
+				if !reflect.DeepEqual(got.StageFinish, want.StageFinish) {
+					t.Errorf("workers=%d: stage finish times differ: %v vs %v", w, got.StageFinish, want.StageFinish)
+				}
+				if !reflect.DeepEqual(got.Deliveriesv, want.Deliveriesv) {
+					t.Errorf("workers=%d: delivery log differs (%d vs %d entries)",
+						w, len(got.Deliveriesv), len(want.Deliveriesv))
+				}
+				if err := got.Copies.VerifyATA(x.Gamma()); err != nil {
+					t.Errorf("workers=%d: ATA postcondition violated: %v", w, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedPathMatchesPerHopCompilation pins the compiled-path layout
+// at the algorithm level: disabling the cycle-path cache (by patching
+// every route to a fresh copy, which defeats the slice-identity check)
+// must not change anything about the run.
+func TestSharedPathMatchesPerHopCompilation(t *testing.T) {
+	g := topology.Hypercube(4)
+	cycles, err := hamilton.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(g, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Eta:              2,
+		Params:           simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37},
+		RecordDeliveries: true,
+	}
+	shared, err := x.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHop := base
+	perHop.PatchRoutes = func(specs []simnet.PacketSpec) {
+		for i := range specs {
+			specs[i].Route = append([]topology.Node(nil), specs[i].Route...)
+		}
+	}
+	plain, err := x.Run(perHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Finish != plain.Finish || shared.Events != plain.Events ||
+		shared.Deliveries != plain.Deliveries || shared.Contentions != plain.Contentions {
+		t.Fatalf("shared-path run differs from per-hop compilation:\n got %+v\nwant %+v", shared, plain)
+	}
+	if !reflect.DeepEqual(shared.Deliveriesv, plain.Deliveriesv) {
+		t.Fatal("shared-path delivery log differs from per-hop compilation")
+	}
+}

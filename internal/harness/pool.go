@@ -45,7 +45,7 @@ func (s *RunStats) record(wall time.Duration, err error) {
 }
 
 // AddEvents credits simulator events processed by a run.
-func (s *RunStats) AddEvents(n int) { s.events.Add(int64(n)) }
+func (s *RunStats) AddEvents(n int64) { s.events.Add(n) }
 
 // Runs returns the number of completed runs/sweep points.
 func (s *RunStats) Runs() int64 { return s.runs.Load() }
@@ -73,15 +73,35 @@ func (s *RunStats) Summary() string {
 // workers resolves the effective worker-pool width. A raw trace sink
 // is inherently single-stream, so tracing forces sequential execution
 // regardless of the configured width — the exported stream is then the
-// engine's deterministic event order, every time.
+// engine's deterministic event order, every time. When within-run
+// sharding is on (EngineWorkers > 1), the across-run budget is divided
+// by it: the product of the two widths, not their sum, is what lands on
+// the machine, and the caller's Workers (or GOMAXPROCS) is the budget
+// for that product.
 func (c Config) workers() int {
 	if c.Trace != nil {
 		return 1
 	}
-	if c.Workers > 0 {
-		return c.Workers
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if c.EngineWorkers > 1 {
+		w /= c.EngineWorkers
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// engineWorkers resolves the per-run sharding width experiments should
+// pass into core.Config/simnet.Options (0 = sequential engine).
+func (c Config) engineWorkers() int {
+	if c.EngineWorkers > 1 {
+		return c.EngineWorkers
+	}
+	return 0
 }
 
 // Env is the execution environment a sweep worker hands to every point
@@ -121,7 +141,7 @@ func (e *Env) close(cfg Config) {
 
 // addEvents credits simulator events to the run's stats collector, when
 // one is attached.
-func (c Config) addEvents(n int) {
+func (c Config) addEvents(n int64) {
 	if c.Stats != nil {
 		c.Stats.AddEvents(n)
 	}

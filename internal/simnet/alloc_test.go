@@ -73,7 +73,8 @@ type resultKey struct {
 	finish                             Time
 	deliveries, contentions, bgBlocked int
 	cutThroughs, bufferedHops, stalls  int
-	injections, events                 int
+	injections                         int
+	events                             int64
 	linkBusy                           Time
 }
 

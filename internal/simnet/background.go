@@ -2,6 +2,17 @@ package simnet
 
 import "math/rand"
 
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.,
+// "Fast splittable pseudorandom number generators"): a full-avalanche
+// bijection on 64-bit words, used to derive statistically independent
+// per-arc RNG seeds from (Params.Seed, arc id).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // bgProcess models "normal network traffic" on one directed link as a
 // renewal on/off process: busy periods of one packet time (μα) separated
 // by idle periods drawn from an exponential distribution with mean chosen

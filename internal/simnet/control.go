@@ -66,7 +66,7 @@ func (rt *Runtime) SetTimer(at Time, token int64) {
 	if at < st.now {
 		at = st.now
 	}
-	st.push(event{t: at, kind: evTimer, arr: Time(token)})
+	st.pushTimer(at, token)
 }
 
 // Inject adds a new packet to the running simulation and returns its
@@ -82,12 +82,20 @@ func (rt *Runtime) Inject(spec PacketSpec) (int32, error) {
 	if len(spec.Route) < 2 {
 		return -1, fmt.Errorf("simnet: injected packet %v has route of %d nodes", spec.ID, len(spec.Route))
 	}
+	if len(st.specs) >= maxSpecs || len(spec.Route) >= maxRouteLen {
+		return -1, fmt.Errorf("simnet: injected packet %v exceeds engine capacity (%d specs, route %d)",
+			spec.ID, len(st.specs), len(spec.Route))
+	}
 	if len(spec.After) > 0 {
 		return -1, fmt.Errorf("simnet: injected packet %v must not have dependencies", spec.ID)
 	}
 	if spec.Inject < st.now {
 		spec.Inject = st.now
 	}
+	// Appends may grow st.arcs beyond the capacity prepare() reserved;
+	// that is safe: previously compiled specArcs windows keep aliasing the
+	// old backing array (whose contents never change), only new windows
+	// land in the grown one.
 	base := len(st.arcs)
 	for h := 0; h+1 < len(spec.Route); h++ {
 		from, to := spec.Route[h], spec.Route[h+1]
@@ -107,7 +115,7 @@ func (rt *Runtime) Inject(spec PacketSpec) (int32, error) {
 	}
 	st.specs = append(st.specs, spec)
 	st.ownSpecs = st.specs
-	st.arcOff = append(st.arcOff, int32(len(st.arcs)))
+	st.specArcs = append(st.specArcs, st.arcs[base:len(st.arcs):len(st.arcs)])
 	st.children = append(st.children, nil)
 	st.unmet = append(st.unmet, nil)
 	st.ready = append(st.ready, 0)

@@ -19,7 +19,7 @@ import (
 // blocked cut-through falls back to reception + evSend; a blocked send
 // reserves the next free slot and pays the queueing delay D. Wormhole
 // packets stall in the network instead of buffering. Events are processed
-// in (time, sequence) order, so runs are fully deterministic.
+// in (time, key) order — see packetKey — so runs are fully deterministic.
 //
 // The hot path is flat and index-addressed: before the event loop starts,
 // every route is compiled into a []int32 of arc indices (validating
@@ -35,14 +35,52 @@ const (
 	// evTimer is a controller wake-up: it carries no packet, only an
 	// opaque token (stashed in the event's arr field), and exists only
 	// when Options.Control is attached. Timer events share the (time,
-	// seq) total order with packet events, so an attached controller
+	// key) total order with packet events, so an attached controller
 	// never perturbs the relative order of the packet events themselves.
 	evTimer
 )
 
+// Capacity limits of the flat-array layout. Packet indices are int32 and
+// an event's ordering key reserves 31 bits for the packet and 30 for the
+// hop, so both are hard caps the run validates up front — at the paper's
+// Q16 headline scale (524288 packets of 65535 hops per stage) they leave
+// three orders of magnitude of headroom, but a silent wrap would corrupt
+// the event order, so exceeding them is a loud error.
+const (
+	maxSpecs    = 1<<31 - 1
+	maxRouteLen = 1 << 30
+)
+
+// packetKey is the deterministic tiebreak for packet events at equal
+// simulated time: spec index, then hop, then kind (evCut orders before
+// evSend). Together with the time it forms a total order over all
+// possible packet events that is a pure function of the event *set* —
+// not of heap push order — which is what lets the sharded engine
+// (sharded.go) process disjoint link sets on concurrent workers and
+// still reproduce the sequential event order exactly. Two properties
+// make the order well defined and causal:
+//
+//   - distinct events have distinct keys: each (pkt, hop) produces at
+//     most one evCut and at most one evSend per run;
+//   - every event spawned while handling an event at (t, k) lands at a
+//     strictly later (time, key): next-hop and dependency-release events
+//     advance time by at least α, and the blocked-cut-through fallback
+//     (the only spawn that can share its spawner's time, at μ=1, τ_S=0)
+//     keeps the same pkt and hop but moves from evCut to evSend.
+func packetKey(pkt, hop int32, kind evKind) uint64 {
+	return uint64(uint32(pkt))<<32 | uint64(uint32(hop))<<2 | uint64(kind)
+}
+
+// timerKeyBit marks controller timer keys: bit 63 is never set by
+// packetKey (31+30+2 = 63 bits), so all timers at a tick order after
+// that tick's packet events — a deadline timer can never preempt a
+// delivery landing on the deadline itself — and among themselves by
+// their monotonic set sequence.
+const timerKeyBit = uint64(1) << 63
+
 type event struct {
 	t    Time
-	seq  int64
+	key  uint64 // deterministic tiebreak at equal t (packetKey / timer key)
 	pkt  int32
 	hop  int32
 	kind evKind
@@ -50,14 +88,15 @@ type event struct {
 }
 
 // before reports whether a orders strictly before b: primary key is
-// simulated time, tiebroken by push sequence. The order is total (seq is
-// unique), so every conforming priority queue pops the exact same event
-// sequence — the determinism the regression oracle relies on.
+// simulated time, tiebroken by the deterministic event key. The order is
+// total (keys are unique), so every conforming priority queue pops the
+// exact same event sequence — the determinism the regression oracle and
+// the sharded engine's merge both rely on.
 func (a *event) before(b *event) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
-	return a.seq < b.seq
+	return a.key < b.key
 }
 
 // eventHeap is a monomorphic 4-ary min-heap over a reusable backing
@@ -135,38 +174,60 @@ type Options struct {
 	Saturated bool
 	// Fault, when non-nil, is consulted once per performed hop and may
 	// drop the copy or taint its payload (see FaultHook). Nil costs one
-	// predictable branch per event on the hot path.
+	// predictable branch per event on the hot path. In a sharded run
+	// (EngineWorkers > 1) the hook is consulted from several goroutines
+	// at once and must be safe for concurrent use; hooks that decide
+	// purely from their arguments and immutable state — like the
+	// compiled fault.Injector — qualify as-is.
 	Fault FaultHook
 	// Control, when non-nil, attaches an online controller (see
 	// Controller): it observes deliveries, sets timers, and may inject
 	// new packets mid-run — the machinery behind the repair layer. Nil
 	// costs one predictable branch per event and one per delivery.
+	// Controllers are inherently sequential; combining Control with
+	// EngineWorkers > 1 is an error.
 	Control Controller
 	// Observe, when non-nil, streams every performed hop and every
 	// delivery to an observability sink (see Observer and
 	// internal/observe). Nil costs one predictable branch per event and
-	// one per delivery, preserving the allocation-free hot path.
+	// one per delivery, preserving the allocation-free hot path. Sharded
+	// runs buffer the records per time window and replay them to the
+	// sink from a single goroutine in the engine's deterministic (time,
+	// key) order, so sinks never need locking and see the exact
+	// sequential stream at any worker count.
 	Observe Observer
+	// EngineWorkers shards this run's links across that many worker
+	// goroutines with conservative time-window synchronization
+	// (sharded.go). 0 or 1 selects the sequential engine. Results are
+	// byte-identical at every worker count; the paper's contention-
+	// freeness theorem (per-link independence, minimum α between an
+	// event and anything it causes on another link) is what makes the
+	// window bound safe.
+	EngineWorkers int
 }
 
 // runState is the working state of one Run. It lives inside a Scratch so
 // that every slice — the event queue, the compiled routes, the
-// dependency bookkeeping — keeps its backing array across runs.
+// dependency bookkeeping — keeps its backing array across runs. In a
+// sharded run each shard owns a runState of its own; the compiled
+// routes and dependency tables are shared (read-only, or guarded — see
+// sharded.go) while the queue, counters, and Result stay shard-local.
 type runState struct {
 	net      *Network
 	specs    []PacketSpec
 	opts     Options
 	queue    eventHeap
-	seq      int64
+	seq      int64 // monotonic timer sequence (controller runs only)
 	res      *Result
 	arcStamp []int32   // per arc: spec index + 1 that last used it (duplicate detection)
-	arcs     []int32   // compiled routes: one arc index per hop, all specs back to back
-	arcOff   []int32   // arcs[arcOff[i]:arcOff[i+1]] are spec i's hops
+	arcs     []int32   // backing store for routes compiled by this run
+	specArcs [][]int32 // per spec: one arc index per hop (into arcs, or a caller-supplied CompiledPath)
 	children [][]int32 // per spec: dependent spec indices
 	unmet    [][]int32 // per spec: parents that have not yet delivered at Route[0]
 	ready    []Time    // per spec: latest parent delivery at Route[0]
 	started  []bool
 	corrupt  []bool // per spec: payload tainted by the fault hook (hook runs only)
+	hasDeps  bool   // any spec has an After list (gates the dependency path)
 
 	// Controller support (populated only when opts.Control != nil):
 	// ownSpecs is a scratch-owned copy of the caller's specs so that
@@ -175,6 +236,13 @@ type runState struct {
 	// can be validated against causality.
 	ownSpecs []PacketSpec
 	now      Time
+
+	// Sharded-mode binding (nil in sequential runs): sh links this
+	// runState to its shard, and curKey is the ordering key of the event
+	// currently being handled — the tag that lets buffered deliveries
+	// and observer records merge back into exact sequential order.
+	sh     *shard
+	curKey uint64
 }
 
 // release drops the pointers a finished run would otherwise pin in the
@@ -182,6 +250,11 @@ type runState struct {
 // reusable backing arrays.
 func (st *runState) release() {
 	st.net, st.specs, st.res = nil, nil, nil
+	st.sh = nil
+	// Route windows may alias caller-owned CompiledPaths; drop every
+	// reference (including tail entries from earlier, larger runs) so the
+	// scratch never pins a caller's compiled routes between runs.
+	clear(st.specArcs[:cap(st.specArcs)])
 	if len(st.ownSpecs) > 0 {
 		// Spec copies hold route slices owned by the caller (or the
 		// controller); drop them so the scratch pins only its own arrays.
@@ -203,94 +276,19 @@ func (n *Network) Run(specs []PacketSpec, opts Options) (*Result, error) {
 // allocations of the event loop live in sc and are reused by the next
 // run. A nil sc borrows scratch from an internal pool. A Scratch must
 // never be used by two goroutines at once; results are identical with
-// or without reuse.
+// or without reuse, and with any Options.EngineWorkers value.
 func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Result, error) {
+	if opts.EngineWorkers > 1 {
+		return n.runSharded(specs, opts, sc)
+	}
 	if sc == nil {
 		sc = scratchPool.Get().(*Scratch)
 		defer scratchPool.Put(sc)
 	}
 	st := &sc.st
 	defer st.release()
-	st.net, st.specs, st.opts = n, specs, opts
-	st.res = &Result{}
-	st.queue.a = st.queue.a[:0]
-	st.seq = 0
-
-	// Route compilation: one pass validates adjacency and duplicate
-	// directed links, and emits each hop's arc index so the event loop
-	// addresses links by pointer arithmetic instead of hashing.
-	// arcStamp detects a route traversing the same directed link twice
-	// (such a packet would contend with itself and the schedule is
-	// malformed); stamped with spec index + 1 so one cleared array
-	// serves every spec.
-	st.arcStamp = growInt32(st.arcStamp, len(n.links))
-	clear(st.arcStamp)
-	st.arcs = st.arcs[:0]
-	st.arcOff = append(st.arcOff[:0], 0)
-	hasDeps := false
-	for i, s := range specs {
-		if len(s.Route) < 2 {
-			return nil, fmt.Errorf("simnet: packet %d (%v) has route of %d nodes", i, s.ID, len(s.Route))
-		}
-		if s.Inject < 0 {
-			return nil, fmt.Errorf("simnet: packet %d (%v) has negative inject time", i, s.ID)
-		}
-		for h := 0; h+1 < len(s.Route); h++ {
-			from, to := s.Route[h], s.Route[h+1]
-			idx := n.arcIndex(from, to)
-			if idx < 0 {
-				return nil, fmt.Errorf("simnet: packet %d (%v) route step %d: {%d,%d} not an edge of %s",
-					i, s.ID, h, from, to, n.g.Name())
-			}
-			if st.arcStamp[idx] == int32(i)+1 {
-				return nil, fmt.Errorf("simnet: packet %d (%v) route uses directed link %d→%d twice",
-					i, s.ID, from, to)
-			}
-			st.arcStamp[idx] = int32(i) + 1
-			st.arcs = append(st.arcs, idx)
-		}
-		st.arcOff = append(st.arcOff, int32(len(st.arcs)))
-		if len(s.After) > 0 {
-			hasDeps = true
-		}
-	}
-
-	st.children = resetLists(st.children, len(specs))
-	st.unmet = resetLists(st.unmet, len(specs))
-	st.ready = growTimes(st.ready, len(specs))
-	clear(st.ready)
-	st.started = growBools(st.started, len(specs))
-	clear(st.started)
-	if opts.Fault != nil {
-		// Taint bits are grown and cleared only when a hook is installed;
-		// fault-free runs never touch the slice.
-		st.corrupt = growBools(st.corrupt, len(specs))
-		clear(st.corrupt)
-	}
-	if hasDeps {
-		for i, s := range specs {
-			for _, parent := range s.After {
-				if parent < 0 || parent >= len(specs) || parent == i {
-					return nil, fmt.Errorf("simnet: packet %d (%v) has invalid dependency %d", i, s.ID, parent)
-				}
-				for _, q := range st.unmet[i] {
-					if q == int32(parent) {
-						return nil, fmt.Errorf("simnet: packet %d (%v) lists dependency %d twice", i, s.ID, parent)
-					}
-				}
-				st.unmet[i] = append(st.unmet[i], int32(parent))
-				st.children[parent] = append(st.children[parent], int32(i))
-			}
-		}
-		if err := checkAcyclic(specs); err != nil {
-			return nil, err
-		}
-	}
-	if opts.Copies {
-		st.res.Copies = NewCopyMatrix(n.g.N())
-	}
-	if opts.Trace {
-		st.res.Traces = make(map[PacketID][]Hop, len(specs))
+	if err := st.prepare(n, specs, opts); err != nil {
+		return nil, err
 	}
 	for i, s := range specs {
 		if len(s.After) > 0 {
@@ -324,10 +322,138 @@ func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 			st.handle(ev)
 		}
 	}
+	return st.finish()
+}
+
+// prepare initializes the run state: it validates and compiles every
+// route, builds the dependency tables, and sizes the per-run recording
+// structures. It is shared verbatim by the sequential and sharded
+// engines, so both compile the exact same program.
+func (st *runState) prepare(n *Network, specs []PacketSpec, opts Options) error {
+	st.net, st.specs, st.opts = n, specs, opts
+	st.res = &Result{}
+	st.queue.a = st.queue.a[:0]
+	st.seq = 0
+	if len(specs) > maxSpecs {
+		return fmt.Errorf("simnet: %d packets exceed the engine's %d-packet capacity", len(specs), maxSpecs)
+	}
+
+	// Route compilation: one pass validates adjacency and duplicate
+	// directed links, and emits each hop's arc index so the event loop
+	// addresses links by slice indexing instead of hashing. arcStamp
+	// detects a route traversing the same directed link twice (such a
+	// packet would contend with itself and the schedule is malformed);
+	// stamped with spec index + 1 so one cleared array serves every
+	// spec. Routes that carry a CompiledPath skip both per-hop checks:
+	// the path validated adjacency once at compilation, and the caller
+	// certifies the window repeats no directed link (see
+	// PacketSpec.Path) — that is what keeps a Q16-scale run's compiled
+	// footprint at O(γN) instead of O(γN²).
+	st.arcStamp = growInt32(st.arcStamp, len(n.links))
+	clear(st.arcStamp)
+	st.specArcs = growArcLists(st.specArcs, len(specs))
+	plainHops := 0
 	for i := range specs {
+		if specs[i].Path == nil {
+			plainHops += len(specs[i].Route) - 1
+		}
+	}
+	// Reserve the whole backing store up front: appends below never
+	// reallocate, so the specArcs windows handed out stay valid.
+	if cap(st.arcs) < plainHops {
+		st.arcs = make([]int32, 0, plainHops)
+	} else {
+		st.arcs = st.arcs[:0]
+	}
+	hasDeps := false
+	for i, s := range specs {
+		if len(s.Route) < 2 {
+			return fmt.Errorf("simnet: packet %d (%v) has route of %d nodes", i, s.ID, len(s.Route))
+		}
+		if len(s.Route) >= maxRouteLen {
+			return fmt.Errorf("simnet: packet %d (%v) route of %d nodes exceeds the engine's %d-hop capacity",
+				i, s.ID, len(s.Route), maxRouteLen-1)
+		}
+		if s.Inject < 0 {
+			return fmt.Errorf("simnet: packet %d (%v) has negative inject time", i, s.ID)
+		}
+		if p := s.Path; p != nil {
+			arcs, err := p.window(n, s.PathOff, s.Route)
+			if err != nil {
+				return fmt.Errorf("simnet: packet %d (%v): %w", i, s.ID, err)
+			}
+			st.specArcs[i] = arcs
+		} else {
+			base := len(st.arcs)
+			for h := 0; h+1 < len(s.Route); h++ {
+				from, to := s.Route[h], s.Route[h+1]
+				idx := n.arcIndex(from, to)
+				if idx < 0 {
+					return fmt.Errorf("simnet: packet %d (%v) route step %d: {%d,%d} not an edge of %s",
+						i, s.ID, h, from, to, n.g.Name())
+				}
+				if st.arcStamp[idx] == int32(i)+1 {
+					return fmt.Errorf("simnet: packet %d (%v) route uses directed link %d→%d twice",
+						i, s.ID, from, to)
+				}
+				st.arcStamp[idx] = int32(i) + 1
+				st.arcs = append(st.arcs, idx)
+			}
+			st.specArcs[i] = st.arcs[base:len(st.arcs):len(st.arcs)]
+		}
+		if len(s.After) > 0 {
+			hasDeps = true
+		}
+	}
+
+	st.children = resetLists(st.children, len(specs))
+	st.unmet = resetLists(st.unmet, len(specs))
+	st.ready = growTimes(st.ready, len(specs))
+	clear(st.ready)
+	st.started = growBools(st.started, len(specs))
+	clear(st.started)
+	if opts.Fault != nil {
+		// Taint bits are grown and cleared only when a hook is installed;
+		// fault-free runs never touch the slice.
+		st.corrupt = growBools(st.corrupt, len(specs))
+		clear(st.corrupt)
+	}
+	st.hasDeps = hasDeps
+	if hasDeps {
+		for i, s := range specs {
+			for _, parent := range s.After {
+				if parent < 0 || parent >= len(specs) || parent == i {
+					return fmt.Errorf("simnet: packet %d (%v) has invalid dependency %d", i, s.ID, parent)
+				}
+				for _, q := range st.unmet[i] {
+					if q == int32(parent) {
+						return fmt.Errorf("simnet: packet %d (%v) lists dependency %d twice", i, s.ID, parent)
+					}
+				}
+				st.unmet[i] = append(st.unmet[i], int32(parent))
+				st.children[parent] = append(st.children[parent], int32(i))
+			}
+		}
+		if err := checkAcyclic(specs); err != nil {
+			return err
+		}
+	}
+	if opts.Copies {
+		st.res.Copies = NewCopyMatrix(n.g.N())
+	}
+	if opts.Trace {
+		st.res.Traces = make(map[PacketID][]Hop, len(specs))
+	}
+	return nil
+}
+
+// finish verifies every packet was eventually injected and returns the
+// run's Result.
+func (st *runState) finish() (*Result, error) {
+	for i := range st.specs {
 		if !st.started[i] {
 			return nil, fmt.Errorf("simnet: packet %d (%v) never injected: no parent delivered at node %d",
-				i, specs[i].ID, specs[i].Route[0])
+				i, st.specs[i].ID, st.specs[i].Route[0])
 		}
 	}
 	return st.res, nil
@@ -407,10 +533,28 @@ func (st *runState) start(i int32, at Time) {
 	st.res.Injections++
 }
 
+// push enqueues a packet event under its deterministic key. In a sharded
+// run the event is routed to the shard owning its hop's arc: the shard's
+// own heap when local, the target's outbox (drained at the next window
+// barrier) otherwise. Same-arc respawns — the blocked-cut-through
+// fallback — always stay local, which is what keeps the window bound at
+// the cross-link minimum α.
 func (st *runState) push(ev event) {
-	ev.seq = st.seq
-	st.seq++
+	ev.key = packetKey(ev.pkt, ev.hop, ev.kind)
+	if sh := st.sh; sh != nil {
+		if tgt := sh.owner(st.specArcs[ev.pkt][ev.hop]); tgt != sh.id {
+			sh.outbox[tgt] = append(sh.outbox[tgt], ev)
+			return
+		}
+	}
 	st.queue.push(ev)
+}
+
+// pushTimer enqueues a controller timer. Timers order after all packet
+// events at their tick and among themselves by set order.
+func (st *runState) pushTimer(at Time, token int64) {
+	st.queue.push(event{t: at, key: timerKeyBit | uint64(st.seq), kind: evTimer, arr: Time(token)})
+	st.seq++
 }
 
 func (st *runState) handle(ev event) {
@@ -423,7 +567,8 @@ func (st *runState) handle(ev event) {
 	if spec.Flits > 0 {
 		pt = Time(spec.Flits) * p.Alpha
 	}
-	l := &st.net.links[st.arcs[st.arcOff[ev.pkt]+ev.hop]]
+	arc := st.specArcs[ev.pkt][ev.hop]
+	l := &st.net.links[arc]
 
 	var depart Time
 	var kind HopKind
@@ -510,22 +655,32 @@ func (st *runState) handle(ev event) {
 	tailAtNext := depart + pt
 	last := int32(len(spec.Route) - 2)
 	if st.opts.Trace {
-		st.res.Traces[spec.ID] = append(st.res.Traces[spec.ID], Hop{
+		h := Hop{
 			From: from, To: to, Kind: kind,
 			HeaderDepart: depart, TailArrive: tailAtNext, Blocked: blocked,
-		})
+		}
+		if sh := st.sh; sh != nil {
+			sh.traces = append(sh.traces, taggedHop{t: ev.t, key: ev.key, pkt: ev.pkt, h: h})
+		} else {
+			st.res.Traces[spec.ID] = append(st.res.Traces[spec.ID], h)
+		}
 	}
 	if st.opts.Observe != nil {
 		flits := p.Mu
 		if spec.Flits > 0 {
 			flits = spec.Flits
 		}
-		st.opts.Observe.OnHop(HopEvent{
+		he := HopEvent{
 			ID: spec.ID, Hop: int(ev.hop), From: from, To: to,
-			Arc:  int(st.arcs[st.arcOff[ev.pkt]+ev.hop]),
+			Arc:  int(arc),
 			Kind: kind, HeaderDepart: depart, TailArrive: tailAtNext,
 			Flits: flits, Blocked: blocked,
-		})
+		}
+		if sh := st.sh; sh != nil {
+			sh.obs = append(sh.obs, obsRec{t: ev.t, key: ev.key, isHop: true, hop: he})
+		} else {
+			st.opts.Observe.OnHop(he)
+		}
 	}
 	// The next node receives a copy if it is the final node, or by the
 	// tee operation while the packet passes through.
@@ -559,6 +714,57 @@ func (st *runState) linkFree(l *link, t Time) (Time, bool) {
 func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 	id := st.specs[pkt].ID
 	st.res.Deliveries++
+	if st.hasDeps && len(st.children[pkt]) > 0 {
+		// Dependency release mutates tables shared by every shard of a
+		// sharded run; the mutex is taken only on this rare path (the
+		// serialized baselines), never by dependency-free schedules like
+		// IHC. Release order within a window cannot matter: each parent
+		// removes only itself, ready keeps a max, and the last removal —
+		// whichever shard performs it — observes the same final state.
+		if sh := st.sh; sh != nil {
+			sh.run.depMu.Lock()
+			st.releaseDeps(pkt, node, at)
+			sh.run.depMu.Unlock()
+		} else {
+			st.releaseDeps(pkt, node, at)
+		}
+	}
+	if at > st.res.Finish {
+		st.res.Finish = at
+	}
+	if st.res.Copies != nil {
+		st.res.Copies.Add(node, id.Source)
+	}
+	if st.opts.RecordDeliveries {
+		d := Delivery{
+			ID: id, Node: node, At: at,
+			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
+		}
+		if sh := st.sh; sh != nil {
+			sh.delivs = append(sh.delivs, taggedDeliv{t: st.now, key: st.curKey, d: d})
+		} else {
+			st.res.Deliveriesv = append(st.res.Deliveriesv, d)
+		}
+	}
+	if st.opts.Observe != nil {
+		d := Delivery{
+			ID: id, Node: node, At: at,
+			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
+		}
+		if sh := st.sh; sh != nil {
+			sh.obs = append(sh.obs, obsRec{t: st.now, key: st.curKey, del: d})
+		} else {
+			st.opts.Observe.OnDeliver(d)
+		}
+	}
+	if st.opts.Control != nil {
+		st.opts.Control.OnDeliver(pkt, node, at)
+	}
+}
+
+// releaseDeps satisfies pkt's delivery at node for every dependent
+// child, starting children whose last parent this was.
+func (st *runState) releaseDeps(pkt int32, node topology.Node, at Time) {
 	for _, c := range st.children[pkt] {
 		child := &st.specs[c]
 		if child.Route[0] != node {
@@ -587,26 +793,5 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 		if len(st.unmet[c]) == 0 {
 			st.start(c, st.ready[c]+child.Inject)
 		}
-	}
-	if at > st.res.Finish {
-		st.res.Finish = at
-	}
-	if st.res.Copies != nil {
-		st.res.Copies.Add(node, id.Source)
-	}
-	if st.opts.RecordDeliveries {
-		st.res.Deliveriesv = append(st.res.Deliveriesv, Delivery{
-			ID: id, Node: node, At: at,
-			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
-		})
-	}
-	if st.opts.Observe != nil {
-		st.opts.Observe.OnDeliver(Delivery{
-			ID: id, Node: node, At: at,
-			Corrupted: st.opts.Fault != nil && st.corrupt[pkt],
-		})
-	}
-	if st.opts.Control != nil {
-		st.opts.Control.OnDeliver(pkt, node, at)
 	}
 }

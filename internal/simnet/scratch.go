@@ -14,6 +14,20 @@ import "sync"
 // value is ready to use.
 type Scratch struct {
 	st runState
+	// shards holds the per-worker states of sharded runs (EngineWorkers
+	// > 1); each keeps its own event heap, counters, and merge buffers
+	// across runs, so sharded steady state reuses memory like the
+	// sequential path does.
+	shards []*shard
+}
+
+// shardSlots returns w reusable shard slots, growing the slice as
+// needed. Slots keep their backing arrays between runs.
+func (sc *Scratch) shardSlots(w int) []*shard {
+	for len(sc.shards) < w {
+		sc.shards = append(sc.shards, &shard{})
+	}
+	return sc.shards[:w]
 }
 
 // NewScratch returns an empty scratch; capacity grows on first use and
@@ -30,6 +44,16 @@ var scratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growArcLists returns a slice of n route windows, reusing the outer
+// backing array when large enough. Contents are unspecified; route
+// compilation overwrites every entry.
+func growArcLists(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		return make([][]int32, n)
 	}
 	return s[:n]
 }

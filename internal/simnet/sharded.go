@@ -1,0 +1,396 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Conservative sharded execution of a single run.
+//
+// The links (directed arcs) are partitioned into contiguous ranges, one
+// per worker; every event belongs to exactly one arc (the link its hop
+// requests), hence to exactly one shard. Workers process events in
+// global (time, key) order *per shard* inside synchronized time windows:
+//
+//	window k = [minT, minT + L)
+//
+// where minT is the earliest pending event across all shards and L is
+// the engine's lookahead (see Network.lookahead). The engine's spawn
+// structure guarantees that handling an event at time t can create an
+// event on a *different* arc no earlier than t + L — the same per-link
+// independence that underlies the paper's Theorem 3 contention-freeness
+// argument — so every event of window k already sits in some shard's
+// heap when the window opens, and shards cannot affect one another
+// within a window. Cross-shard spawns are buffered in per-target
+// outboxes and drained at the window barrier; the one spawn that can
+// share its spawner's timestamp (the blocked virtual-cut-through
+// fallback) re-requests the same arc and therefore stays on its own
+// shard, outside the lookahead argument entirely.
+//
+// Determinism is exact, not statistical. Because event keys make the
+// sequential processing order a pure function of the event set (see
+// packetKey), each shard's heap replays precisely the sequential order
+// restricted to its arcs: per-link state transitions, background-traffic
+// RNG consumption, and every counter come out identical at any worker
+// count. Order-sensitive outputs are reconstructed at merge time:
+// deliveries and traces are tagged with their event's (time, key) and
+// sorted — which is exactly the order the sequential engine appended
+// them in — and observer records are buffered per window and replayed to
+// the sink from one goroutine in (time, key) order.
+//
+// Shared mutable state is confined to the dependency tables (After
+// lists), which only the serialized baselines use: release operations
+// commute (each parent removes itself once, readiness keeps a running
+// max, the final removal starts the child), so a mutex around the rare
+// release path preserves byte-identity there too. Controllers are
+// refused: an online controller observes and actuates the global stream
+// sequentially by contract.
+
+// lookahead returns the window width L: the minimum simulated-time
+// distance between an event and any event its handling can create on a
+// different arc. Derivation over the engine's spawn sites, for an event
+// at time t:
+//
+//   - next-hop cut-through request: depart + α with depart >= t, so >= t+α;
+//   - next-hop store-and-forward send: depart + pt + τ_S >= t + α + τ_S
+//     (pt >= α because packets are at least one flit);
+//   - dependency release: the delivery happens at depart + pt >= t + α,
+//     and the child injects no earlier than delivery + τ_S;
+//   - blocked-cut-through fallback: may land at exactly t, but on the
+//     same arc — shard-local, so it does not bound the window.
+//
+// Hence L = α universally, improved to α + τ_S in store-and-forward
+// mode where no cut-through requests exist.
+func (n *Network) lookahead() Time {
+	if n.p.Mode == StoreAndForward {
+		return n.p.Alpha + n.p.TauS
+	}
+	return n.p.Alpha
+}
+
+// taggedDeliv is a delivery tagged with its event's (time, key) so the
+// merge can reconstruct the sequential append order. One event delivers
+// at most one copy, so tags are unique and the sort is a total order.
+type taggedDeliv struct {
+	t   Time
+	key uint64
+	d   Delivery
+}
+
+// taggedHop is one trace entry tagged the same way. The engine performs
+// each (packet, hop) at most once, so tags are unique here as well.
+type taggedHop struct {
+	t   Time
+	key uint64
+	pkt int32
+	h   Hop
+}
+
+// obsRec is one buffered observer record: a hop when isHop, a delivery
+// otherwise. Buffered per shard per window and replayed in (t, key)
+// order; a hop and the delivery it causes carry the same tag, and the
+// merge emits the hop first, matching the sequential callback order.
+type obsRec struct {
+	t     Time
+	key   uint64
+	isHop bool
+	hop   HopEvent
+	del   Delivery
+}
+
+// shard is one worker's slice of a sharded run: a contiguous arc range,
+// the per-link state behind it (via its own event heap and runState
+// counters), and the buffers that carry order-sensitive output to the
+// merge. All slices are retained in the Scratch across runs.
+type shard struct {
+	st     runState
+	id     int
+	run    *shardedRun
+	outbox [][]event // outbox[target]: cross-shard spawns for target, drained at the barrier
+	delivs []taggedDeliv
+	traces []taggedHop
+	obs    []obsRec
+	obsPos int // consumption cursor during the per-window observer replay
+}
+
+// owner maps an arc id to the shard that owns it.
+func (sh *shard) owner(arc int32) int { return int(arc) / sh.run.chunk }
+
+// shardedRun is the state shared by all shards of one run.
+type shardedRun struct {
+	chunk int // arcs per shard (ceiling); owner(arc) = arc / chunk
+	depMu sync.Mutex
+}
+
+// drainCmd is the out-of-band worker command for the outbox-drain phase;
+// any other value received is a window end time. Simulated times are
+// non-negative, so the sentinel cannot collide.
+const drainCmd = Time(math.MinInt64)
+
+// runSharded is RunScratch's EngineWorkers > 1 path.
+func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Result, error) {
+	if opts.Control != nil {
+		return nil, fmt.Errorf("simnet: EngineWorkers=%d is incompatible with a Controller: controllers observe and actuate the event stream sequentially", opts.EngineWorkers)
+	}
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+	}
+	st := &sc.st
+	defer st.release()
+	if err := st.prepare(n, specs, opts); err != nil {
+		return nil, err
+	}
+	w := opts.EngineWorkers
+	if nArcs := len(n.links); w > nArcs {
+		// More workers than arcs would leave shards owning nothing.
+		w = nArcs
+	}
+	if w < 2 {
+		// Degenerate shard count (tiny graph): run the sequential loop —
+		// identical results by construction, no worker machinery.
+		for i, s := range specs {
+			if len(s.After) == 0 {
+				st.start(int32(i), s.Inject)
+			}
+		}
+		for len(st.queue.a) > 0 {
+			ev := st.queue.pop()
+			st.res.Events++
+			st.handle(ev)
+		}
+		return st.finish()
+	}
+
+	run := &shardedRun{chunk: (len(n.links) + w - 1) / w}
+	shards := sc.shardSlots(w)
+	defer releaseShards(shards)
+	for i, sh := range shards {
+		sh.id, sh.run = i, run
+		if cap(sh.outbox) < w {
+			sh.outbox = make([][]event, w)
+		} else {
+			sh.outbox = sh.outbox[:w]
+		}
+		sst := &sh.st
+		sst.net, sst.specs, sst.opts = n, st.specs, opts
+		sst.specArcs = st.specArcs
+		sst.children, sst.unmet = st.children, st.unmet
+		sst.ready, sst.started, sst.corrupt = st.ready, st.started, st.corrupt
+		sst.hasDeps = st.hasDeps
+		sst.res = &Result{}
+		sst.queue.a = sst.queue.a[:0]
+		sst.sh = sh
+		if opts.Copies {
+			sst.res.Copies = NewCopyMatrix(n.g.N())
+		}
+	}
+	// Initial injections go straight into the owning shard's heap:
+	// start() routes by the packet's first arc, which for the starting
+	// shard is always local.
+	for i := range st.specs {
+		if len(st.specs[i].After) > 0 {
+			continue
+		}
+		sh := shards[int(st.specArcs[i][0])/run.chunk]
+		sh.st.start(int32(i), st.specs[i].Inject)
+	}
+
+	// Window loop: two barriers per window. Phase one processes every
+	// event inside [minT, minT+L) shard-locally; phase two drains the
+	// outboxes (each shard pulls its own inbound events, so the drain is
+	// itself parallel — with scattered routes most spawns cross shards,
+	// and a serial drain would dominate). Between barriers the main
+	// goroutine alone reads shard heaps for the next minT and replays
+	// buffered observer records; the channel handshakes order all of it.
+	lookahead := n.lookahead()
+	cmds := make([]chan Time, w)
+	done := make(chan struct{}, w)
+	for i, sh := range shards {
+		cmds[i] = make(chan Time, 1)
+		go func(sh *shard, cmd <-chan Time) {
+			for c := range cmd {
+				if c == drainCmd {
+					sh.drain(shards)
+				} else {
+					sh.runWindow(c)
+				}
+				done <- struct{}{}
+			}
+		}(sh, cmds[i])
+	}
+	barrier := func(c Time) {
+		for _, ch := range cmds {
+			ch <- c
+		}
+		for range shards {
+			<-done
+		}
+	}
+	for {
+		minT := Time(math.MaxInt64)
+		for _, sh := range shards {
+			if q := sh.st.queue.a; len(q) > 0 && q[0].t < minT {
+				minT = q[0].t
+			}
+		}
+		if minT == math.MaxInt64 {
+			break
+		}
+		barrier(minT + lookahead)
+		barrier(drainCmd)
+		if opts.Observe != nil {
+			replayObservations(shards, opts.Observe)
+		}
+	}
+	for _, ch := range cmds {
+		close(ch)
+	}
+
+	res := st.res
+	for _, sh := range shards {
+		r := sh.st.res
+		res.Finish = max(res.Finish, r.Finish)
+		res.Deliveries += r.Deliveries
+		res.Contentions += r.Contentions
+		res.BgBlocked += r.BgBlocked
+		res.CutThroughs += r.CutThroughs
+		res.BufferedHops += r.BufferedHops
+		res.Stalls += r.Stalls
+		res.Injections += r.Injections
+		res.Events += r.Events
+		res.LinkBusy += r.LinkBusy
+		res.FaultDrops += r.FaultDrops
+		res.FaultTaints += r.FaultTaints
+		if res.Copies != nil {
+			// Saturating merge is order-independent: min(a+b+c, cap) no
+			// matter how the pairwise merges associate.
+			res.Copies.Merge(r.Copies)
+		}
+	}
+	if opts.RecordDeliveries {
+		total := 0
+		for _, sh := range shards {
+			total += len(sh.delivs)
+		}
+		all := make([]taggedDeliv, 0, total)
+		for _, sh := range shards {
+			all = append(all, sh.delivs...)
+		}
+		// The sequential engine appends one delivery per delivering event,
+		// in event order — so sorting by the event tag reconstructs its
+		// Deliveriesv byte for byte.
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].t != all[j].t {
+				return all[i].t < all[j].t
+			}
+			return all[i].key < all[j].key
+		})
+		res.Deliveriesv = make([]Delivery, len(all))
+		for i := range all {
+			res.Deliveriesv[i] = all[i].d
+		}
+	}
+	if opts.Trace {
+		total := 0
+		for _, sh := range shards {
+			total += len(sh.traces)
+		}
+		all := make([]taggedHop, 0, total)
+		for _, sh := range shards {
+			all = append(all, sh.traces...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].t != all[j].t {
+				return all[i].t < all[j].t
+			}
+			return all[i].key < all[j].key
+		})
+		for _, th := range all {
+			id := st.specs[th.pkt].ID
+			res.Traces[id] = append(res.Traces[id], th.h)
+		}
+	}
+	return st.finish()
+}
+
+// runWindow processes every pending event strictly before end. Spawns
+// for this shard's own arcs enter the heap immediately (and are popped
+// within the window if they fall inside it); cross-shard spawns land in
+// outboxes with t >= end by the lookahead bound.
+func (sh *shard) runWindow(end Time) {
+	st := &sh.st
+	for len(st.queue.a) > 0 && st.queue.a[0].t < end {
+		ev := st.queue.pop()
+		st.res.Events++
+		st.now, st.curKey = ev.t, ev.key
+		st.handle(ev)
+	}
+}
+
+// drain moves every event other shards spawned for this shard into its
+// heap. Each shard writes only its own outbox slot in every peer, so the
+// phase runs without locks.
+func (sh *shard) drain(all []*shard) {
+	for _, o := range all {
+		box := o.outbox[sh.id]
+		for i := range box {
+			sh.st.queue.push(box[i])
+		}
+		o.outbox[sh.id] = box[:0]
+	}
+}
+
+// replayObservations merges the shards' buffered observer records in
+// (time, key) order and replays them to the sink from the main
+// goroutine. Within one event's tag a hop precedes the delivery it
+// caused (isHop breaks the tie), matching the sequential callback order;
+// an O(W) scan per record keeps the merge allocation-free.
+func replayObservations(shards []*shard, obs Observer) {
+	for {
+		var best *obsRec
+		bestShard := -1
+		for s, sh := range shards {
+			if sh.obsPos >= len(sh.obs) {
+				continue
+			}
+			r := &sh.obs[sh.obsPos]
+			if best == nil || r.t < best.t || (r.t == best.t && (r.key < best.key ||
+				(r.key == best.key && r.isHop && !best.isHop))) {
+				best, bestShard = r, s
+			}
+		}
+		if best == nil {
+			break
+		}
+		shards[bestShard].obsPos++
+		if best.isHop {
+			obs.OnHop(best.hop)
+		} else {
+			obs.OnDeliver(best.del)
+		}
+	}
+	for _, sh := range shards {
+		sh.obs, sh.obsPos = sh.obs[:0], 0
+	}
+}
+
+// releaseShards drops everything a finished run would otherwise pin:
+// result pointers, the shared dependency tables, buffered records. The
+// backing arrays stay for the next run.
+func releaseShards(shards []*shard) {
+	for _, sh := range shards {
+		sh.st.release()
+		sh.st.children, sh.st.unmet = nil, nil
+		sh.st.ready, sh.st.started, sh.st.corrupt = nil, nil, nil
+		sh.run = nil
+		for i := range sh.outbox {
+			sh.outbox[i] = sh.outbox[i][:0]
+		}
+		sh.delivs = sh.delivs[:0]
+		sh.traces = sh.traces[:0]
+		sh.obs, sh.obsPos = sh.obs[:0], 0
+	}
+}

@@ -1,0 +1,428 @@
+package simnet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ihc/internal/topology"
+)
+
+// shardedWorkerCounts is the worker matrix every equivalence test runs:
+// the degenerate single worker, powers of two, and a prime that leaves a
+// ragged last shard.
+var shardedWorkerCounts = []int{1, 2, 4, 7}
+
+// recordingObserver captures the full observer stream for stream-level
+// equivalence checks.
+type recordingObserver struct {
+	hops []HopEvent
+	dels []Delivery
+	log  []string // interleaving: "h" per hop, "d" per delivery
+}
+
+func (r *recordingObserver) OnHop(e HopEvent) { r.hops = append(r.hops, e); r.log = append(r.log, "h") }
+func (r *recordingObserver) OnDeliver(d Delivery) {
+	r.dels = append(r.dels, d)
+	r.log = append(r.log, "d")
+}
+
+// fullResult bundles everything a run can output, for deep comparison.
+type fullResult struct {
+	key         resultKey
+	faultDrops  int
+	faultTaints int
+	deliveries  []Delivery
+	traces      map[PacketID][]Hop
+	copies      [][]int
+	obsHops     []HopEvent
+	obsDels     []Delivery
+	obsLog      string
+}
+
+func capture(t *testing.T, g *topology.Graph, p Params, specs []PacketSpec, opts Options, workers int) fullResult {
+	t.Helper()
+	net, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingObserver{}
+	opts.Observe = rec
+	opts.EngineWorkers = workers
+	res, err := net.RunScratch(specs, opts, nil)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	f := fullResult{
+		key:         keyOf(res),
+		faultDrops:  res.FaultDrops,
+		faultTaints: res.FaultTaints,
+		deliveries:  res.Deliveriesv,
+		traces:      res.Traces,
+		obsHops:     rec.hops,
+		obsDels:     rec.dels,
+		obsLog:      strings.Join(rec.log, ""),
+	}
+	if res.Copies != nil {
+		f.copies = make([][]int, g.N())
+		for r := 0; r < g.N(); r++ {
+			f.copies[r] = make([]int, g.N())
+			for s := 0; s < g.N(); s++ {
+				f.copies[r][s] = res.Copies.Get(topology.Node(r), topology.Node(s))
+			}
+		}
+	}
+	return f
+}
+
+// assertShardedIdentical runs the workload sequentially and under every
+// worker count, requiring byte-identical output on every channel a run
+// has: counters, the ordered delivery log, per-packet traces, the copy
+// matrix, and the full observer stream including its interleaving.
+func assertShardedIdentical(t *testing.T, g *topology.Graph, p Params, specs []PacketSpec, opts Options) {
+	t.Helper()
+	opts.RecordDeliveries = true
+	opts.Trace = true
+	want := capture(t, g, p, specs, opts, 0)
+	if want.key.deliveries == 0 {
+		t.Fatal("workload delivered nothing; equivalence check vacuous")
+	}
+	for _, w := range shardedWorkerCounts {
+		got := capture(t, g, p, specs, opts, w)
+		if got.key != want.key {
+			t.Errorf("workers=%d: counters differ:\n got %+v\nwant %+v", w, got.key, want.key)
+		}
+		if got.faultDrops != want.faultDrops || got.faultTaints != want.faultTaints {
+			t.Errorf("workers=%d: fault counters differ: got %d/%d want %d/%d",
+				w, got.faultDrops, got.faultTaints, want.faultDrops, want.faultTaints)
+		}
+		if !reflect.DeepEqual(got.deliveries, want.deliveries) {
+			t.Errorf("workers=%d: delivery log differs (%d vs %d entries)", w, len(got.deliveries), len(want.deliveries))
+		}
+		if !reflect.DeepEqual(got.traces, want.traces) {
+			t.Errorf("workers=%d: traces differ", w)
+		}
+		if !reflect.DeepEqual(got.copies, want.copies) {
+			t.Errorf("workers=%d: copy matrix differs", w)
+		}
+		if got.obsLog != want.obsLog {
+			t.Errorf("workers=%d: observer interleaving differs", w)
+		}
+		if !reflect.DeepEqual(got.obsHops, want.obsHops) {
+			t.Errorf("workers=%d: observed hop stream differs (%d vs %d)", w, len(got.obsHops), len(want.obsHops))
+		}
+		if !reflect.DeepEqual(got.obsDels, want.obsDels) {
+			t.Errorf("workers=%d: observed delivery stream differs", w)
+		}
+	}
+}
+
+func TestShardedIdenticalModes(t *testing.T) {
+	g, specs := pipelineSpecs(32)
+	for _, mode := range []Mode{VirtualCutThrough, StoreAndForward, Wormhole} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37, Mode: mode}
+			assertShardedIdentical(t, g, p, specs, Options{Copies: true})
+		})
+	}
+}
+
+// TestShardedIdenticalContended drives every packet through the same few
+// links (a short ring with long overlapping routes) so same-tick link
+// contention — the case the deterministic event key exists for — is
+// exercised heavily.
+func TestShardedIdenticalContended(t *testing.T) {
+	g := topology.Cycle(6)
+	ring := make([]topology.Node, 12)
+	for i := range ring {
+		ring[i] = topology.Node(i % 6)
+	}
+	var specs []PacketSpec
+	for s := 0; s < 6; s++ {
+		specs = append(specs, PacketSpec{
+			ID:    PacketID{Source: topology.Node(s)},
+			Route: ring[s : s+6],
+			Tee:   true,
+		})
+	}
+	// τ_S = 0 and μ = 1 make the blocked-cut-through fallback land at the
+	// exact timestamp of its evCut — the tightest tie the key must break.
+	p := Params{TauS: 0, Alpha: 20, Mu: 1, D: 37}
+	assertShardedIdentical(t, g, p, specs, Options{Copies: true})
+}
+
+func TestShardedIdenticalBackground(t *testing.T) {
+	g, specs := pipelineSpecs(24)
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37, Rho: 0.35, Seed: 12345}
+	assertShardedIdentical(t, g, p, specs, Options{})
+}
+
+func TestShardedIdenticalSaturated(t *testing.T) {
+	g, specs := pipelineSpecs(16)
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	assertShardedIdentical(t, g, p, specs, Options{Saturated: true})
+}
+
+func TestShardedIdenticalFlits(t *testing.T) {
+	g, specs := pipelineSpecs(16)
+	for i := range specs {
+		specs[i].Flits = 1 + i%3
+	}
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	assertShardedIdentical(t, g, p, specs, Options{})
+}
+
+// TestShardedIdenticalDeps exercises the cross-shard dependency-release
+// path: a redirect chain where each packet is injected only after its
+// parent delivered at the child's source node.
+func TestShardedIdenticalDeps(t *testing.T) {
+	g := topology.Cycle(12)
+	route := func(from, n int) []topology.Node {
+		r := make([]topology.Node, n)
+		for i := range r {
+			r[i] = topology.Node((from + i) % 12)
+		}
+		return r
+	}
+	specs := []PacketSpec{
+		{ID: PacketID{Source: 0}, Route: route(0, 4), Tee: true},
+		{ID: PacketID{Source: 3, Seq: 1}, Route: route(3, 4), Tee: true, After: []int{0}, Inject: 10},
+		{ID: PacketID{Source: 6, Seq: 2}, Route: route(6, 4), Tee: true, After: []int{1}},
+		{ID: PacketID{Source: 3, Channel: 1}, Route: route(3, 7), Tee: true, After: []int{0}},
+		{ID: PacketID{Source: 9, Seq: 3}, Route: route(9, 4), Tee: true, After: []int{2, 3}},
+	}
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	assertShardedIdentical(t, g, p, specs, Options{Copies: true})
+}
+
+// pureFault drops or taints hops as a pure function of its arguments —
+// the concurrency-safety contract Options.Fault documents for sharded
+// runs, and the shape internal/fault's compiled Injector has.
+type pureFault struct{}
+
+func (pureFault) Relay(id PacketID, hop int, from, to topology.Node, depart Time) FaultAction {
+	h := uint64(id.Source)*2654435761 + uint64(hop)*97 + uint64(from)*13
+	switch h % 11 {
+	case 0:
+		return FaultDrop
+	case 1, 2:
+		return FaultCorrupt
+	default:
+		return FaultNone
+	}
+}
+
+func TestShardedIdenticalFaults(t *testing.T) {
+	g, specs := pipelineSpecs(24)
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	assertShardedIdentical(t, g, p, specs, Options{Fault: pureFault{}})
+}
+
+// TestShardedRejectsController pins the contract: controllers are
+// sequential by definition, so sharded runs must refuse them loudly
+// rather than run them racily.
+func TestShardedRejectsController(t *testing.T) {
+	g, specs := pipelineSpecs(8)
+	net, err := New(g, Params{TauS: 100, Alpha: 20, Mu: 2, D: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = net.Run(specs, Options{Control: noopController{}, EngineWorkers: 4})
+	if err == nil || !strings.Contains(err.Error(), "Controller") {
+		t.Fatalf("sharded run with controller: got err %v, want refusal mentioning Controller", err)
+	}
+}
+
+type noopController struct{}
+
+func (noopController) Attach(*Runtime, []PacketSpec)        {}
+func (noopController) OnDeliver(int32, topology.Node, Time) {}
+func (noopController) OnTimer(Time, int64)                  {}
+
+// TestShardedWorkerClamp asks for far more workers than the graph has
+// arcs; the run must clamp rather than divide by zero or leave empty
+// shards misrouting events.
+func TestShardedWorkerClamp(t *testing.T) {
+	g := topology.Cycle(3) // 6 arcs
+	specs := []PacketSpec{{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2}, Tee: true}}
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	want := capture(t, g, p, specs, Options{RecordDeliveries: true}, 0)
+	got := capture(t, g, p, specs, Options{RecordDeliveries: true}, 64)
+	if got.key != want.key || !reflect.DeepEqual(got.deliveries, want.deliveries) {
+		t.Fatalf("clamped run differs: got %+v want %+v", got.key, want.key)
+	}
+}
+
+// TestScratchReuseAcrossTopologies is the aliasing regression test: one
+// Scratch serves runs on networks of very different sizes and shapes,
+// sequentially and sharded, interleaved — any stale compiled-route,
+// dependency-table, or shard state leaking between runs shows up as a
+// mismatch against a fresh-scratch reference.
+func TestScratchReuseAcrossTopologies(t *testing.T) {
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	type workload struct {
+		name  string
+		g     *topology.Graph
+		specs []PacketSpec
+	}
+	big, bigSpecs := pipelineSpecs(64)
+	small, smallSpecs := pipelineSpecs(8)
+	qube := topology.Hypercube(3)
+	var qubeSpecs []PacketSpec
+	for s := 0; s < 8; s++ {
+		// One 3-hop dimension-ordered route per source.
+		qubeSpecs = append(qubeSpecs, PacketSpec{
+			ID:    PacketID{Source: topology.Node(s)},
+			Route: []topology.Node{topology.Node(s), topology.Node(s ^ 1), topology.Node(s ^ 1 ^ 2), topology.Node(s ^ 1 ^ 2 ^ 4)},
+			Tee:   true,
+		})
+	}
+	deps := []PacketSpec{
+		{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2}, Tee: true},
+		{ID: PacketID{Source: 2, Seq: 1}, Route: []topology.Node{2, 3, 4}, After: []int{0}},
+	}
+	workloads := []workload{
+		{"ring64", big, bigSpecs},
+		{"q3", qube, qubeSpecs},
+		{"ring8", small, smallSpecs},
+		{"deps", topology.Cycle(8), deps},
+		{"ring64-again", big, bigSpecs},
+	}
+	sc := NewScratch()
+	for _, wl := range workloads {
+		for _, w := range []int{0, 3} {
+			opts := Options{RecordDeliveries: true, EngineWorkers: w}
+			fresh := capture(t, wl.g, p, wl.specs, opts, w)
+			net, err := New(wl.g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := net.RunScratch(wl.specs, opts, sc)
+			if err != nil {
+				t.Fatalf("%s workers=%d reused scratch: %v", wl.name, w, err)
+			}
+			if keyOf(res) != fresh.key {
+				t.Errorf("%s workers=%d: reused scratch differs from fresh:\n got %+v\nwant %+v",
+					wl.name, w, keyOf(res), fresh.key)
+			}
+			if !reflect.DeepEqual(res.Deliveriesv, fresh.deliveries) {
+				t.Errorf("%s workers=%d: reused-scratch delivery log differs", wl.name, w)
+			}
+		}
+	}
+}
+
+// TestCompiledPathWindows checks the shared-path route layout against
+// per-hop compilation: specs referencing windows of one compiled doubled
+// cycle must behave exactly like the same routes compiled individually.
+func TestCompiledPathWindows(t *testing.T) {
+	const n = 16
+	g := topology.Cycle(n)
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
+	doubled := make([]topology.Node, 2*n)
+	for i := range doubled {
+		doubled[i] = topology.Node(i % n)
+	}
+	plain := make([]PacketSpec, 0, n/2)
+	for s := 0; s < n; s += 2 {
+		plain = append(plain, PacketSpec{
+			ID:    PacketID{Source: topology.Node(s)},
+			Route: doubled[s : s+n],
+			Tee:   true,
+		})
+	}
+	want := capture(t, g, p, plain, Options{Copies: true, RecordDeliveries: true}, 0)
+
+	net, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := net.CompilePath(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]PacketSpec, len(plain))
+	copy(shared, plain)
+	for i := range shared {
+		shared[i].Path, shared[i].PathOff = cp, int(shared[i].ID.Source)
+	}
+	res, err := net.Run(shared, Options{Copies: true, RecordDeliveries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(res) != want.key {
+		t.Errorf("compiled-path run differs: got %+v want %+v", keyOf(res), want.key)
+	}
+	if !reflect.DeepEqual(res.Deliveriesv, want.deliveries) {
+		t.Error("compiled-path delivery log differs from per-hop compilation")
+	}
+
+	// Misuse must fail loudly, not silently route over wrong arcs.
+	bad := shared[:1:1]
+	bad[0].PathOff = int(bad[0].ID.Source) + 1 // endpoints disagree with window
+	if _, err := net.Run(bad, Options{}); err == nil {
+		t.Error("mismatched path window accepted")
+	}
+	other, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Run(shared[:1], Options{}); err == nil {
+		t.Error("compiled path accepted by a different network")
+	}
+}
+
+// TestBackgroundSeedPerArc pins the satellite bugfix: background traffic
+// is a pure function of (Seed, arc id). Two networks with the same seed
+// must produce identical traffic; different seeds must not; and querying
+// links in different orders (what sequential vs sharded engines do) must
+// not change any link's pattern.
+func TestBackgroundSeedPerArc(t *testing.T) {
+	g := topology.Cycle(8)
+	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37, Rho: 0.5, Seed: 42}
+	sample := func(net *Network, order []int) map[int][]Time {
+		out := make(map[int][]Time)
+		for _, i := range order {
+			bg := net.links[i].bg
+			var ts []Time
+			for q := Time(0); q < 2000; q += 100 {
+				free, _ := bg.freeFrom(q)
+				ts = append(ts, free)
+			}
+			out[i] = ts
+		}
+		return out
+	}
+	a, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := []int{0, 1, 2, 3}
+	rev := []int{3, 2, 1, 0}
+	sa, sb := sample(a, fwd), sample(b, rev)
+	for _, i := range fwd {
+		if !reflect.DeepEqual(sa[i], sb[i]) {
+			t.Errorf("arc %d: same seed, different query order: traffic differs", i)
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c, err := New(g, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sample(c, fwd)
+	same := 0
+	for _, i := range fwd {
+		if reflect.DeepEqual(sa[i], sc[i]) {
+			same++
+		}
+	}
+	if same == len(fwd) {
+		t.Error("seeds 42 and 43 produced identical background traffic on every sampled arc")
+	}
+}

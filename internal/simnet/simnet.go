@@ -155,6 +155,66 @@ type PacketSpec struct {
 	// received) and merges (FRS: a node combines two received messages
 	// before relaying). Dependencies must be acyclic.
 	After []int
+	// Path, when non-nil, supplies this route's pre-compiled arc indices:
+	// Route must equal the path's nodes [PathOff, PathOff+len(Route))
+	// and the engine skips both per-hop adjacency resolution and the
+	// duplicate-directed-link check for this spec — the caller certifies
+	// the window repeats no directed link (a window of at most N nodes of
+	// an IHC doubled Hamiltonian cycle never does). This is what keeps a
+	// Q16-scale ATA's compiled-route footprint at O(γN) — one compiled
+	// path per doubled cycle, shared by all N of its window routes —
+	// instead of the O(γN²) of compiling every spec separately.
+	Path    *CompiledPath
+	PathOff int
+}
+
+// CompiledPath is a node path resolved to arc indices once, shared by
+// every PacketSpec whose Route is a contiguous window of it. Compile
+// with Network.CompilePath; a path is only valid for runs on the network
+// that compiled it.
+type CompiledPath struct {
+	net   *Network
+	nodes []topology.Node
+	arcs  []int32 // arcs[i] = arc id of nodes[i] → nodes[i+1]
+}
+
+// CompilePath resolves and validates the node sequence against the
+// network's adjacency once, so window routes referencing it skip per-hop
+// resolution. The returned path aliases nodes; do not mutate it.
+func (n *Network) CompilePath(nodes []topology.Node) (*CompiledPath, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("simnet: compiled path of %d nodes", len(nodes))
+	}
+	arcs := make([]int32, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		idx := n.arcIndex(nodes[i], nodes[i+1])
+		if idx < 0 {
+			return nil, fmt.Errorf("simnet: compiled path step %d: {%d,%d} not an edge of %s",
+				i, nodes[i], nodes[i+1], n.g.Name())
+		}
+		arcs[i] = idx
+	}
+	return &CompiledPath{net: n, nodes: nodes, arcs: arcs}, nil
+}
+
+// window returns the arc slice for a spec routed over nodes
+// [off, off+len(route)). The window's endpoints are checked against the
+// route (a cheap guard against off-by-one staging bugs); interior
+// equality is the caller's certification — checking it per spec would
+// reintroduce the O(γN²) cost compiled paths exist to avoid.
+func (p *CompiledPath) window(n *Network, off int, route []topology.Node) ([]int32, error) {
+	if p.net != n {
+		return nil, fmt.Errorf("simnet: compiled path belongs to a different network")
+	}
+	end := off + len(route)
+	if off < 0 || end > len(p.nodes) {
+		return nil, fmt.Errorf("simnet: path window [%d,%d) outside compiled path of %d nodes", off, end, len(p.nodes))
+	}
+	if route[0] != p.nodes[off] || route[len(route)-1] != p.nodes[end-1] {
+		return nil, fmt.Errorf("simnet: route endpoints {%d,%d} disagree with path window {%d,%d}",
+			route[0], route[len(route)-1], p.nodes[off], p.nodes[end-1])
+	}
+	return p.arcs[off : end-1 : end-1], nil
 }
 
 // Delivery records one node receiving one packet copy.
@@ -250,13 +310,17 @@ type Result struct {
 	BufferedHops int  // hops performed from intermediate storage
 	Stalls       int  // wormhole in-network stalls
 	Injections   int  // packets injected
-	Events       int  // simulator events processed by the run
-	LinkBusy     Time // total busy time summed over all links (broadcast traffic only)
-	FaultDrops   int  // hops canceled by the fault hook (copy killed in flight)
-	FaultTaints  int  // hops at which the fault hook corrupted a payload
-	Copies       *CopyMatrix
-	Traces       map[PacketID][]Hop // populated only when Options.Trace
-	Deliveriesv  []Delivery         // populated only when Options.RecordDeliveries
+	// Events counts simulator events processed by the run. It is int64
+	// explicitly — not platform int — because the paper's Q16 headline
+	// run processes ~0.5·10¹² events, past 32-bit range; every counter a
+	// Q16 run flows through carries the width end-to-end.
+	Events      int64
+	LinkBusy    Time // total busy time summed over all links (broadcast traffic only)
+	FaultDrops  int  // hops canceled by the fault hook (copy killed in flight)
+	FaultTaints int  // hops at which the fault hook corrupted a payload
+	Copies      *CopyMatrix
+	Traces      map[PacketID][]Hop // populated only when Options.Trace
+	Deliveriesv []Delivery         // populated only when Options.RecordDeliveries
 }
 
 // Utilization returns the fraction of total link capacity used by the
@@ -376,6 +440,14 @@ func New(g *topology.Graph, p Params) (*Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Arc ids are int32 throughout the engine (compiled routes, event
+	// routing in the sharded engine); a graph whose 2M directed arcs
+	// exceed that is a hard capacity limit, reported up front rather than
+	// silently truncated. Q16 has 2M = 2²¹ arcs — about a thousandfold
+	// of headroom.
+	if 2*g.M() > math.MaxInt32 {
+		return nil, fmt.Errorf("simnet: graph %s has %d directed arcs, exceeding the engine's int32 arc-index capacity", g.Name(), 2*g.M())
+	}
 	nn := g.N()
 	n := &Network{
 		g:       g,
@@ -387,9 +459,17 @@ func New(g *topology.Graph, p Params) (*Network, error) {
 		n.arcBase[u+1] = n.arcBase[u] + int32(g.Degree(topology.Node(u)))
 	}
 	if p.Rho > 0 {
-		const mix = 0x9e3779b97f4a7c15
+		// Each link's background process draws from its own RNG, seeded
+		// by passing (Seed, arc id) through splitmix64. The per-stream
+		// independence makes the ρ>0 traffic a pure function of (Seed,
+		// arc id) — the order links are queried in can never perturb
+		// another link's traffic, which is what lets the sharded engine
+		// reproduce the sequential pattern exactly. The earlier xor-only
+		// mixing kept whole seed bit-planes correlated across arcs;
+		// splitmix64's full avalanche decorrelates neighboring arc ids.
+		base := splitmix64(uint64(p.Seed))
 		for i := range n.links {
-			n.links[i].bg = newBgProcess(rand.New(rand.NewSource(p.Seed^int64(uint64(i)*mix+1))), p)
+			n.links[i].bg = newBgProcess(rand.New(rand.NewSource(int64(splitmix64(base^(uint64(i)+1)*0x9e3779b97f4a7c15)))), p)
 		}
 	}
 	return n, nil
