@@ -60,6 +60,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "background traffic seed")
 		saturated = flag.Bool("saturated", false, "heavy-traffic limiting regime (Table IV)")
 		verify    = flag.Bool("verify", true, "verify the γ-copy ATA delivery postcondition")
+		ledgerF   = flag.Bool("ledger", false, "ihc: verify the ATA postcondition with the O(N) counters-only copy ledger instead of the O(N²) matrix — the memory-bounded mode for Q14+ scale runs")
 		metricsF  = flag.Bool("metrics", false, "aggregate per-link/node/stage metrics and print a summary")
 		oracleF   = flag.Bool("oracle", false, "ihc: verify Theorem 3/4 invariants live from the hop stream")
 		oracleS   = flag.Bool("oracle-strict", false, "like -oracle but asserts contention-freeness unconditionally — exits non-zero on any contention, even at η < μ")
@@ -165,7 +166,8 @@ func main() {
 			}
 			res, err := x.Run(core.Config{
 				Eta: etas[i], Params: p, Overlap: *overlap, Saturated: *saturated,
-				SkipCopies: !*verify, Observe: observe.Tee(sinks...),
+				SkipCopies: !*verify || *ledgerF, Ledger: *ledgerF && *verify,
+				Observe:       observe.Tee(sinks...),
 				EngineWorkers: *engineW,
 			})
 			outs[i] = out{res, err, met, orc}
@@ -214,6 +216,16 @@ func main() {
 				}
 				fmt.Printf("verified:     every node holds %d copies of every other node's message\n", x.Gamma())
 			}
+			if res.Ledger != nil {
+				if err := res.Ledger.VerifyATA(x.Gamma()); err != nil {
+					fail(fmt.Errorf("ATA postcondition violated: %w", err))
+				}
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				fmt.Printf("verified:     every node holds %d copies of every other node's message (O(N) ledger)\n", x.Gamma())
+				fmt.Printf("memory:       %.1f MiB heap in use, %.1f MiB from OS\n",
+					float64(ms.HeapAlloc)/(1<<20), float64(ms.Sys)/(1<<20))
+			}
 			if o.orc != nil {
 				if err := o.orc.Finalize(); err != nil {
 					fail(fmt.Errorf("oracle: %w", err))
@@ -230,6 +242,9 @@ func main() {
 	case "vrs", "ks", "vsq":
 		if *oracleF || *oracleS {
 			fail(fmt.Errorf("-oracle checks IHC cycle invariants; it does not apply to %s", *algo))
+		}
+		if *ledgerF {
+			fail(fmt.Errorf("-ledger is the IHC counters-only mode; it does not apply to %s", *algo))
 		}
 		var met *observe.Metrics
 		var sinks []simnet.Observer
@@ -264,6 +279,9 @@ func main() {
 	case "frs":
 		if trace != nil || *metricsF || *oracleF || *oracleS {
 			fail(fmt.Errorf("frs runs on the lock-step simulator, which has no per-hop observer"))
+		}
+		if *ledgerF {
+			fail(fmt.Errorf("-ledger is the IHC counters-only mode; it does not apply to frs"))
 		}
 		if *engineW > 1 {
 			fail(fmt.Errorf("frs runs on the lock-step simulator; -engine-workers does not apply"))

@@ -6,14 +6,24 @@
 // BENCH_engine.json at the repository root.
 //
 // -quick measures a single run instead of a calibrated benchmark loop
-// (seconds, for CI); -check compares the measured allocs/event against
-// the value recorded in the -against file and exits non-zero when it
-// regressed by more than 10x — the engine's allocation-free event loop
-// is an oracle this smoke keeps honest. The nil-observer fast path is
-// exactly what the headline numbers measure; a second measurement with
-// a counting observer attached reports the per-event hook cost, and
-// -check additionally requires the hooked run to stay allocation-free
-// (the hook hands out stack values, never heap).
+// (seconds, for CI); -check compares the measurement against the values
+// recorded in the -against file and exits non-zero on regression:
+// allocs/event beyond 10x recorded (the engine's allocation-free event
+// loop is an oracle this smoke keeps honest), or ns/event beyond
+// 1+(-tolerance) of recorded (re-measured up to twice, best-of, to damp
+// single-run noise). The nil-observer fast path is exactly what the
+// headline numbers measure; a second measurement with a counting
+// observer attached reports the per-event hook cost, and -check
+// additionally requires the hooked run to stay allocation-free (the
+// hook hands out stack values, never heap).
+//
+// Every measurement also records the live heap after the run and its
+// per-node share, so the Q16 memory footprint is tracked, not guessed.
+// Scaling-series points record the GOMAXPROCS they ran under; a point
+// with fewer cores than workers is annotated "cores_limited" (its
+// speedup measures core starvation, not the engine) and -check never
+// grades speedup on it. When the host has enough cores, GOMAXPROCS is
+// raised to the worker count for the point's duration.
 package main
 
 import (
@@ -40,6 +50,12 @@ type metrics struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// PeakHeapBytes is the live heap right after the run (GC'd before,
+	// read after — scratch, compiled routes, and results all still
+	// reachable), and HeapBytesPerNode its per-node share: the figure to
+	// extrapolate a Q14/Q16 footprint from.
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes,omitempty"`
+	HeapBytesPerNode float64 `json:"heap_bytes_per_node,omitempty"`
 }
 
 // baseline is the seed engine (map-addressed links, container/heap event
@@ -82,6 +98,12 @@ type workerPoint struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	NsPerEvent   float64 `json:"ns_per_event"`
 	Speedup      float64 `json:"speedup_vs_sequential"`
+	// GoMaxProcs is the GOMAXPROCS this point actually ran under (raised
+	// to Workers when the host has the cores). CoresLimited marks points
+	// with fewer cores than workers: their Speedup measures core
+	// starvation, not engine scaling, and must not be graded.
+	GoMaxProcs   int  `json:"gomaxprocs"`
+	CoresLimited bool `json:"cores_limited,omitempty"`
 }
 
 // parseWorkerList parses the -engine-workers flag: a comma-separated
@@ -113,7 +135,8 @@ func (c *countObserver) OnDeliver(simnet.Delivery) { c.dels++ }
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (\"-\" for stdout)")
 	quick := flag.Bool("quick", false, "single measured run instead of a calibrated benchmark loop")
-	check := flag.Bool("check", false, "fail if allocs/event exceeds 10x the value recorded in -against")
+	check := flag.Bool("check", false, "fail if allocs/event exceeds 10x, or ns/event exceeds 1+tolerance of, the values recorded in -against")
+	tolerance := flag.Float64("tolerance", 0.15, "ns/event regression tolerance for -check (0.15 = fail beyond +15% of recorded)")
 	against := flag.String("against", "BENCH_engine.json", "recorded report -check compares against")
 	workerList := flag.String("engine-workers", "", "comma-separated sharded-engine worker counts to record as a scaling series (e.g. 1,2,4,8)")
 	flag.Parse()
@@ -134,6 +157,7 @@ func main() {
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 
 	runs := 1
+	nodes := float64(g.N())
 	measure := func(obs simnet.Observer, workers int) metrics {
 		cfg := core.Config{Eta: 2, Params: p, SkipCopies: true, Observe: obs, EngineWorkers: workers}
 		if *quick || workers > 1 {
@@ -156,11 +180,13 @@ func main() {
 			}
 			total := float64(res.Events)
 			return metrics{
-				EventsPerRun:   res.Events,
-				EventsPerSec:   total / elapsed.Seconds(),
-				NsPerEvent:     float64(elapsed.Nanoseconds()) / total,
-				AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / total,
-				BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+				EventsPerRun:     res.Events,
+				EventsPerSec:     total / elapsed.Seconds(),
+				NsPerEvent:       float64(elapsed.Nanoseconds()) / total,
+				AllocsPerEvent:   float64(ms1.Mallocs-ms0.Mallocs) / total,
+				BytesPerEvent:    float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+				PeakHeapBytes:    ms1.HeapAlloc,
+				HeapBytesPerNode: float64(ms1.HeapAlloc) / nodes,
 			}
 		}
 		var events int64
@@ -180,13 +206,24 @@ func main() {
 		if obs == nil {
 			runs = r.N
 		}
+		// One more instrumented run for the memory figures: the calibrated
+		// loop can't observe live heap, and a single extra run costs a
+		// fraction of the loop it just finished.
+		var msEnd runtime.MemStats
+		runtime.GC()
+		if _, err := x.Run(cfg); err != nil {
+			fail(err)
+		}
+		runtime.ReadMemStats(&msEnd)
 		total := float64(events) * float64(r.N)
 		return metrics{
-			EventsPerRun:   events,
-			EventsPerSec:   total / r.T.Seconds(),
-			NsPerEvent:     float64(r.T.Nanoseconds()) / total,
-			AllocsPerEvent: float64(r.MemAllocs) / total,
-			BytesPerEvent:  float64(r.MemBytes) / total,
+			EventsPerRun:     events,
+			EventsPerSec:     total / r.T.Seconds(),
+			NsPerEvent:       float64(r.T.Nanoseconds()) / total,
+			AllocsPerEvent:   float64(r.MemAllocs) / total,
+			BytesPerEvent:    float64(r.MemBytes) / total,
+			PeakHeapBytes:    msEnd.HeapAlloc,
+			HeapBytesPerNode: float64(msEnd.HeapAlloc) / nodes,
 		}
 	}
 	cur := measure(nil, 1)
@@ -208,7 +245,17 @@ func main() {
 		HookOverheadNs: hooked.NsPerEvent - cur.NsPerEvent,
 	}
 	for _, w := range workerCounts {
+		// Give the point the cores it asks for when the host has them;
+		// otherwise run core-starved and say so, instead of recording a
+		// "speedup" that actually measures starvation.
+		prev := runtime.GOMAXPROCS(0)
+		gmp := prev
+		if w > gmp && runtime.NumCPU() >= w {
+			runtime.GOMAXPROCS(w)
+			gmp = w
+		}
 		m := measure(nil, w)
+		runtime.GOMAXPROCS(prev)
 		if m.EventsPerRun != cur.EventsPerRun {
 			fail(fmt.Errorf("engine-workers=%d processed %d events, sequential %d — sharded run diverged",
 				w, m.EventsPerRun, cur.EventsPerRun))
@@ -218,6 +265,8 @@ func main() {
 			EventsPerSec: m.EventsPerSec,
 			NsPerEvent:   m.NsPerEvent,
 			Speedup:      m.EventsPerSec / cur.EventsPerSec,
+			GoMaxProcs:   gmp,
+			CoresLimited: gmp < w,
 		})
 	}
 
@@ -237,9 +286,15 @@ func main() {
 		cur.EventsPerSec, cur.NsPerEvent, cur.AllocsPerEvent, rep.Speedup, *out)
 	fmt.Printf("observer hook: %.1f ns/event hooked (%+.1f ns/event vs nil hook), %.2g allocs/event\n",
 		hooked.NsPerEvent, rep.HookOverheadNs, hooked.AllocsPerEvent)
+	fmt.Printf("memory: %.1f MiB live heap after run, %.0f bytes/node\n",
+		float64(cur.PeakHeapBytes)/(1<<20), cur.HeapBytesPerNode)
 	for _, pt := range rep.EngineWorkersSeries {
-		fmt.Printf("engine-workers=%d: %.3g events/s, %.1f ns/event (%.2fx sequential)\n",
-			pt.Workers, pt.EventsPerSec, pt.NsPerEvent, pt.Speedup)
+		note := ""
+		if pt.CoresLimited {
+			note = fmt.Sprintf(" [cores_limited: %d workers on GOMAXPROCS=%d]", pt.Workers, pt.GoMaxProcs)
+		}
+		fmt.Printf("engine-workers=%d: %.3g events/s, %.1f ns/event (%.2fx sequential)%s\n",
+			pt.Workers, pt.EventsPerSec, pt.NsPerEvent, pt.Speedup, note)
 	}
 
 	if *check {
@@ -252,9 +307,66 @@ func main() {
 		if err := checkAllocs(hooked, *against); err != nil {
 			fail(fmt.Errorf("with observer attached: %w", err))
 		}
+		// ns/event gate, best-of-3 against single-run noise: only if the
+		// first measurement misses the tolerance do the (expensive)
+		// retries run.
+		best := cur
+		for retry := 0; checkSpeed(best, *against, *tolerance) != nil && retry < 2; retry++ {
+			if m := measure(nil, 1); m.NsPerEvent < best.NsPerEvent {
+				best = m
+			}
+		}
+		if err := checkSpeed(best, *against, *tolerance); err != nil {
+			fail(err)
+		}
+		// Scaling-series grade: a 1-worker sharded run may pay at most
+		// modest overhead vs sequential, and a multi-worker point that
+		// has its cores must not lose to sequential. Core-starved points
+		// measure the host, not the engine — skipped, loudly.
+		for _, pt := range rep.EngineWorkersSeries {
+			if pt.CoresLimited {
+				fmt.Printf("enginebench: engine-workers=%d speedup %.2fx not graded (cores_limited)\n",
+					pt.Workers, pt.Speedup)
+				continue
+			}
+			floor := 1.0
+			if pt.Workers == 1 {
+				floor = 0.85 // the ≤10% overhead target, plus single-run noise margin
+			}
+			if pt.Speedup < floor {
+				fail(fmt.Errorf("check: engine-workers=%d speedup %.2fx below %.2fx floor at GOMAXPROCS=%d",
+					pt.Workers, pt.Speedup, floor, pt.GoMaxProcs))
+			}
+		}
 		fmt.Printf("enginebench: allocs/event %.3g nil-hook, %.3g hooked — both within 10x of recorded — ok\n",
 			cur.AllocsPerEvent, hooked.AllocsPerEvent)
+		fmt.Printf("enginebench: %.1f ns/event within +%.0f%% of recorded — ok\n",
+			best.NsPerEvent, *tolerance*100)
 	}
+}
+
+// checkSpeed is the wall-clock regression gate: the measured ns/event
+// must stay within 1+tolerance of the recorded report's value. Unlike
+// the allocation gate this tracks real time, so callers damp single-run
+// noise by re-measuring before failing.
+func checkSpeed(cur metrics, path string, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check: reading recorded report: %w", err)
+	}
+	var rec report
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return fmt.Errorf("check: parsing %s: %w", path, err)
+	}
+	if rec.Current.NsPerEvent <= 0 {
+		return fmt.Errorf("check: %s records non-positive ns/event %g", path, rec.Current.NsPerEvent)
+	}
+	limit := (1 + tolerance) * rec.Current.NsPerEvent
+	if cur.NsPerEvent > limit {
+		return fmt.Errorf("check: ns/event regressed: measured %.1f > limit %.1f (recorded %.1f +%.0f%% in %s)",
+			cur.NsPerEvent, limit, rec.Current.NsPerEvent, tolerance*100, path)
+	}
+	return nil
 }
 
 // checkAllocs is the regression gate: the measured allocs/event must

@@ -58,6 +58,55 @@ func TestCheckAllocsFailsLoudly(t *testing.T) {
 	}
 }
 
+// TestCheckSpeedGate pins the ns/event gate: missing or degenerate
+// recorded values fail loudly, a regression beyond tolerance trips it,
+// and measurements within (or at) the envelope pass.
+func TestCheckSpeedGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `{"current": {"ns_per_event": 100}}`)
+	zero := write("zero.json", `{"current": {"ns_per_event": 0}}`)
+	corrupt := write("corrupt.json", `{"current": {"ns_per_event":`)
+
+	cases := []struct {
+		name    string
+		cur     metrics
+		against string
+		wantErr string
+	}{
+		{"missing file", metrics{NsPerEvent: 100}, filepath.Join(dir, "nope.json"), "reading recorded report"},
+		{"corrupt json", metrics{NsPerEvent: 100}, corrupt, "parsing"},
+		{"zero recorded", metrics{NsPerEvent: 100}, zero, "non-positive"},
+		{"regression", metrics{NsPerEvent: 116}, good, "regressed"},
+		{"pass", metrics{NsPerEvent: 100}, good, ""},
+		{"pass at limit", metrics{NsPerEvent: 114.9}, good, ""},
+		{"pass improved", metrics{NsPerEvent: 40}, good, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkSpeed(tc.cur, tc.against, 0.15)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected gate failure: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("gate passed silently, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 // TestParseWorkerList covers the -engine-workers flag parsing.
 func TestParseWorkerList(t *testing.T) {
 	got, err := parseWorkerList("1,2,4,8")

@@ -248,6 +248,13 @@ type Config struct {
 	// the sequential engine; results are byte-identical either way.
 	// Incompatible with Control.
 	EngineWorkers int
+	// Ledger maintains the O(N) counters-only Theorem-4 copy ledger
+	// (see simnet.CopyLedger) incrementally across every stage run,
+	// exposed as Result.Ledger. Unlike the O(N²) Copies matrix its
+	// footprint is two cache lines per node, so Q14+/Q16-scale runs can
+	// verify the exact-γ-copies postcondition with bounded memory;
+	// combine with SkipCopies for a fully counters-only run.
+	Ledger bool
 }
 
 // Result aggregates an ATA broadcast execution.
@@ -266,6 +273,7 @@ type Result struct {
 	FaultDrops   int                // copies killed in flight by the fault hook
 	FaultTaints  int                // payload corruptions injected by the fault hook
 	Copies       *simnet.CopyMatrix // nil when SkipCopies
+	Ledger       *simnet.CopyLedger // populated only when Config.Ledger
 	Deliveriesv  []simnet.Delivery  // populated only when RecordDeliveries
 }
 
@@ -340,6 +348,12 @@ func (x *IHC) Run(cfg Config) (*Result, error) {
 		Control:          cfg.Control,
 		Observe:          cfg.Observe,
 		EngineWorkers:    cfg.EngineWorkers,
+	}
+	if cfg.Ledger {
+		// One ledger shared by every stage run: the engine only adds, so
+		// chaining accumulates the whole broadcast's deliveries.
+		res.Ledger = simnet.NewCopyLedger(x.N())
+		opts.Ledger = res.Ledger
 	}
 	overlapLead := simnet.Time(0)
 	if cfg.Overlap {
@@ -475,6 +489,9 @@ func (x *IHC) RunSequential(cfg Config, k int) (*Result, error) {
 	if !cfg.SkipCopies {
 		res.Copies = simnet.NewCopyMatrix(x.N())
 	}
+	if cfg.Ledger {
+		res.Ledger = simnet.NewCopyLedger(x.N())
+	}
 	start := cfg.Start
 	for j := 0; j < k; j++ {
 		sub := cfg
@@ -499,6 +516,9 @@ func (x *IHC) RunSequential(cfg Config, k int) (*Result, error) {
 		res.FaultTaints += r.FaultTaints
 		if res.Copies != nil && r.Copies != nil {
 			res.Copies.Merge(r.Copies)
+		}
+		if res.Ledger != nil && r.Ledger != nil {
+			res.Ledger.Merge(r.Ledger)
 		}
 		res.Deliveriesv = append(res.Deliveriesv, r.Deliveriesv...)
 		start = r.Finish

@@ -38,6 +38,7 @@ func TestShardedEquivalenceIHC(t *testing.T) {
 				Eta:              2,
 				Params:           simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37},
 				RecordDeliveries: true,
+				Ledger:           true,
 			}
 			want, err := x.Run(base)
 			if err != nil {
@@ -45,6 +46,9 @@ func TestShardedEquivalenceIHC(t *testing.T) {
 			}
 			if err := want.Copies.VerifyATA(x.Gamma()); err != nil {
 				t.Fatalf("sequential reference violates ATA postcondition: %v", err)
+			}
+			if err := want.Ledger.VerifyATA(x.Gamma()); err != nil {
+				t.Fatalf("sequential reference violates ledger ATA postcondition: %v", err)
 			}
 			for _, w := range []int{1, 2, 4, 7} {
 				cfg := base
@@ -68,6 +72,9 @@ func TestShardedEquivalenceIHC(t *testing.T) {
 				}
 				if err := got.Copies.VerifyATA(x.Gamma()); err != nil {
 					t.Errorf("workers=%d: ATA postcondition violated: %v", w, err)
+				}
+				if err := got.Ledger.VerifyATA(x.Gamma()); err != nil {
+					t.Errorf("workers=%d: counters-only ledger violated: %v", w, err)
 				}
 			}
 		})

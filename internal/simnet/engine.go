@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 
 	"ihc/internal/topology"
 )
@@ -204,6 +205,15 @@ type Options struct {
 	// event and anything it causes on another link) is what makes the
 	// window bound safe.
 	EngineWorkers int
+	// Ledger, when non-nil, accumulates every delivery into the O(N)
+	// incremental Theorem-4 copy ledger (see CopyLedger) — the
+	// counters-only replacement for the O(N²) Copies matrix at Q14+/Q16
+	// scale. The engine only adds to it; callers may share one ledger
+	// across chained runs (core does, per stage) and verify at the end.
+	// Sharded runs accumulate into shard-local ledgers and merge them
+	// commutatively, so the final counts are identical at every worker
+	// count.
+	Ledger *CopyLedger
 }
 
 // runState is the working state of one Run. It lives inside a Scratch so
@@ -216,9 +226,10 @@ type runState struct {
 	net      *Network
 	specs    []PacketSpec
 	opts     Options
-	queue    eventHeap
+	queue    calQueue
 	seq      int64 // monotonic timer sequence (controller runs only)
 	res      *Result
+	ledger   *CopyLedger // delivery sink when Options.Ledger is set (shard-local in sharded runs)
 	arcStamp []int32   // per arc: spec index + 1 that last used it (duplicate detection)
 	arcs     []int32   // backing store for routes compiled by this run
 	specArcs [][]int32 // per spec: one arc index per hop (into arcs, or a caller-supplied CompiledPath)
@@ -251,6 +262,7 @@ type runState struct {
 func (st *runState) release() {
 	st.net, st.specs, st.res = nil, nil, nil
 	st.sh = nil
+	st.ledger = nil
 	// Route windows may alias caller-owned CompiledPaths; drop every
 	// reference (including tail entries from earlier, larger runs) so the
 	// scratch never pins a caller's compiled routes between runs.
@@ -298,21 +310,21 @@ func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 		st.start(int32(i), s.Inject)
 	}
 	if opts.Control == nil {
-		for len(st.queue.a) > 0 {
-			ev := st.queue.pop()
-			st.res.Events++
-			st.handle(ev)
-		}
+		st.drainUntil(Time(math.MaxInt64))
 	} else {
 		// Controller-attached loop: the specs are copied into scratch-owned
 		// memory first so Runtime.Inject may append mid-run, and timer
-		// events are dispatched to the controller instead of handle().
+		// events are dispatched to the controller instead of handle(). The
+		// queue runs in heap mode here — controllers set same-tick timers
+		// and inject packets whose keys are not successor-shaped, so the
+		// calendar drain's ordering argument does not apply; the heap
+		// reproduces the pre-calendar engine byte for byte.
 		st.ownSpecs = append(st.ownSpecs[:0], specs...)
 		st.specs = st.ownSpecs
 		st.now = 0
 		opts.Control.Attach(&Runtime{st: st}, st.specs)
-		for len(st.queue.a) > 0 {
-			ev := st.queue.pop()
+		for st.queue.heapLen() > 0 {
+			ev := st.queue.popHeap()
 			st.res.Events++
 			st.now = ev.t
 			if ev.kind == evTimer {
@@ -325,6 +337,41 @@ func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 	return st.finish()
 }
 
+// drainUntil is the window-batched hot loop shared by the sequential
+// engine (end = ∞) and each shard of a sharded run (end = the window
+// bound): take one whole tick bucket as a key-sorted slice, handle it
+// back to back in one tight loop — no per-event heap sifting — and
+// consume each event's same-tick respawn (the blocked cut-through
+// fallback, whose key is the immediate successor of its spawner's)
+// right after the event that spawned it, exactly where the heap would
+// have popped it.
+func (st *runState) drainUntil(end Time) {
+	q := &st.queue
+	for {
+		t, ok := q.nextTick()
+		if !ok || t >= end {
+			return
+		}
+		b := q.takeTick(t)
+		st.res.Events += int64(len(b))
+		st.now = t
+		for i := range b {
+			st.curKey = b[i].key
+			st.handle(b[i])
+			for {
+				ev, ok := q.takeSame()
+				if !ok {
+					break
+				}
+				st.res.Events++
+				st.curKey = ev.key
+				st.handle(ev)
+			}
+		}
+		q.finishTick(t, b)
+	}
+}
+
 // prepare initializes the run state: it validates and compiles every
 // route, builds the dependency tables, and sizes the per-run recording
 // structures. It is shared verbatim by the sequential and sharded
@@ -332,8 +379,9 @@ func (n *Network) RunScratch(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 func (st *runState) prepare(n *Network, specs []PacketSpec, opts Options) error {
 	st.net, st.specs, st.opts = n, specs, opts
 	st.res = &Result{}
-	st.queue.a = st.queue.a[:0]
+	st.queue.reset(spanForParams(n.p), opts.Control != nil)
 	st.seq = 0
+	st.ledger = opts.Ledger
 	if len(specs) > maxSpecs {
 		return fmt.Errorf("simnet: %d packets exceed the engine's %d-packet capacity", len(specs), maxSpecs)
 	}
@@ -734,6 +782,9 @@ func (st *runState) deliver(pkt int32, node topology.Node, at Time) {
 	}
 	if st.res.Copies != nil {
 		st.res.Copies.Add(node, id.Source)
+	}
+	if st.ledger != nil {
+		st.ledger.Add(node, id.Source)
 	}
 	if st.opts.RecordDeliveries {
 		d := Delivery{

@@ -3,8 +3,9 @@ package simnet
 import "sync"
 
 // Scratch holds the reusable working memory of one simulation run: the
-// event queue's backing array, the compiled per-spec routes, and the
-// dependency bookkeeping. Reusing a Scratch across runs makes the
+// calendar queue's bucket ring and overflow heap, the compiled per-spec
+// routes, and the dependency bookkeeping. Reusing a Scratch across runs
+// makes the
 // steady-state event loop allocation-free; results are bit-identical
 // with or without reuse.
 //
@@ -15,9 +16,9 @@ import "sync"
 type Scratch struct {
 	st runState
 	// shards holds the per-worker states of sharded runs (EngineWorkers
-	// > 1); each keeps its own event heap, counters, and merge buffers
-	// across runs, so sharded steady state reuses memory like the
-	// sequential path does.
+	// > 1); each keeps its own calendar queue, counters, and merge
+	// buffers across runs, so sharded steady state reuses memory like
+	// the sequential path does.
 	shards []*shard
 }
 

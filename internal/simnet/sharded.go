@@ -3,7 +3,6 @@ package simnet
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 )
 
@@ -31,14 +30,17 @@ import (
 //
 // Determinism is exact, not statistical. Because event keys make the
 // sequential processing order a pure function of the event set (see
-// packetKey), each shard's heap replays precisely the sequential order
-// restricted to its arcs: per-link state transitions, background-traffic
-// RNG consumption, and every counter come out identical at any worker
-// count. Order-sensitive outputs are reconstructed at merge time:
-// deliveries and traces are tagged with their event's (time, key) and
-// sorted — which is exactly the order the sequential engine appended
-// them in — and observer records are buffered per window and replayed to
-// the sink from one goroutine in (time, key) order.
+// packetKey), each shard's calendar queue replays precisely the
+// sequential order restricted to its arcs: per-link state transitions,
+// background-traffic RNG consumption, and every counter come out
+// identical at any worker count. Order-sensitive outputs are
+// reconstructed at merge time: each shard appends deliveries and traces
+// in its own processing order — already globally (time, key)-sorted,
+// since windows advance monotonically and each window is drained in
+// order — so a W-way linear merge of the per-shard streams rebuilds the
+// exact sequential log without a global sort; observer records are
+// buffered per window and replayed to the sink from one goroutine the
+// same way.
 //
 // Shared mutable state is confined to the dependency tables (After
 // lists), which only the serialized baselines use: release operations
@@ -112,7 +114,8 @@ type shard struct {
 	delivs []taggedDeliv
 	traces []taggedHop
 	obs    []obsRec
-	obsPos int // consumption cursor during the per-window observer replay
+	obsPos int         // consumption cursor during the per-window observer replay
+	ledger *CopyLedger // shard-local Theorem-4 ledger (Options.Ledger runs), retained across runs
 }
 
 // owner maps an arc id to the shard that owns it.
@@ -156,11 +159,7 @@ func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 				st.start(int32(i), s.Inject)
 			}
 		}
-		for len(st.queue.a) > 0 {
-			ev := st.queue.pop()
-			st.res.Events++
-			st.handle(ev)
-		}
+		st.drainUntil(Time(math.MaxInt64))
 		return st.finish()
 	}
 
@@ -181,10 +180,20 @@ func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 		sst.ready, sst.started, sst.corrupt = st.ready, st.started, st.corrupt
 		sst.hasDeps = st.hasDeps
 		sst.res = &Result{}
-		sst.queue.a = sst.queue.a[:0]
+		sst.queue.reset(spanForParams(n.p), false)
 		sst.sh = sh
 		if opts.Copies {
 			sst.res.Copies = NewCopyMatrix(n.g.N())
+		}
+		if opts.Ledger != nil {
+			// Shard-local ledger, merged commutatively after the run; the
+			// backing arrays are retained in the scratch across runs.
+			if sh.ledger == nil || sh.ledger.N() != opts.Ledger.N() {
+				sh.ledger = NewCopyLedger(opts.Ledger.N())
+			} else {
+				sh.ledger.Reset()
+			}
+			sst.ledger = sh.ledger
 		}
 	}
 	// Initial injections go straight into the owning shard's heap:
@@ -232,8 +241,11 @@ func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 	for {
 		minT := Time(math.MaxInt64)
 		for _, sh := range shards {
-			if q := sh.st.queue.a; len(q) > 0 && q[0].t < minT {
-				minT = q[0].t
+			// nextTick may migrate overflow events into the calendar ring;
+			// between barriers only this goroutine touches shard queues, so
+			// the reorganization is safe and the worker resumes from it.
+			if t, ok := sh.st.queue.nextTick(); ok && t < minT {
+				minT = t
 			}
 		}
 		if minT == math.MaxInt64 {
@@ -269,28 +281,40 @@ func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 			// matter how the pairwise merges associate.
 			res.Copies.Merge(r.Copies)
 		}
+		if opts.Ledger != nil {
+			// Sum merge is commutative, so the caller's ledger ends up
+			// identical at every worker count.
+			opts.Ledger.Merge(sh.ledger)
+		}
 	}
+	// Each shard appended its deliveries and traces in processing order,
+	// which is already the global (time, key) order restricted to that
+	// shard — so one W-way linear merge per stream reconstructs the
+	// sequential engine's append order byte for byte, replacing the old
+	// concatenate-and-sort (O(n log n) with a closure-calling comparator)
+	// with a single O(n·W) pass into a pre-sized buffer.
 	if opts.RecordDeliveries {
 		total := 0
 		for _, sh := range shards {
 			total += len(sh.delivs)
 		}
-		all := make([]taggedDeliv, 0, total)
-		for _, sh := range shards {
-			all = append(all, sh.delivs...)
-		}
-		// The sequential engine appends one delivery per delivering event,
-		// in event order — so sorting by the event tag reconstructs its
-		// Deliveriesv byte for byte.
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].t != all[j].t {
-				return all[i].t < all[j].t
+		res.Deliveriesv = make([]Delivery, 0, total)
+		pos := make([]int, len(shards))
+		for len(res.Deliveriesv) < total {
+			best := -1
+			var bt Time
+			var bk uint64
+			for s, sh := range shards {
+				if pos[s] >= len(sh.delivs) {
+					continue
+				}
+				r := &sh.delivs[pos[s]]
+				if best < 0 || r.t < bt || (r.t == bt && r.key < bk) {
+					best, bt, bk = s, r.t, r.key
+				}
 			}
-			return all[i].key < all[j].key
-		})
-		res.Deliveriesv = make([]Delivery, len(all))
-		for i := range all {
-			res.Deliveriesv[i] = all[i].d
+			res.Deliveriesv = append(res.Deliveriesv, shards[best].delivs[pos[best]].d)
+			pos[best]++
 		}
 	}
 	if opts.Trace {
@@ -298,17 +322,22 @@ func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 		for _, sh := range shards {
 			total += len(sh.traces)
 		}
-		all := make([]taggedHop, 0, total)
-		for _, sh := range shards {
-			all = append(all, sh.traces...)
-		}
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].t != all[j].t {
-				return all[i].t < all[j].t
+		pos := make([]int, len(shards))
+		for merged := 0; merged < total; merged++ {
+			best := -1
+			var bt Time
+			var bk uint64
+			for s, sh := range shards {
+				if pos[s] >= len(sh.traces) {
+					continue
+				}
+				r := &sh.traces[pos[s]]
+				if best < 0 || r.t < bt || (r.t == bt && r.key < bk) {
+					best, bt, bk = s, r.t, r.key
+				}
 			}
-			return all[i].key < all[j].key
-		})
-		for _, th := range all {
+			th := &shards[best].traces[pos[best]]
+			pos[best]++
 			id := st.specs[th.pkt].ID
 			res.Traces[id] = append(res.Traces[id], th.h)
 		}
@@ -316,23 +345,18 @@ func (n *Network) runSharded(specs []PacketSpec, opts Options, sc *Scratch) (*Re
 	return st.finish()
 }
 
-// runWindow processes every pending event strictly before end. Spawns
-// for this shard's own arcs enter the heap immediately (and are popped
-// within the window if they fall inside it); cross-shard spawns land in
-// outboxes with t >= end by the lookahead bound.
+// runWindow processes every pending event strictly before end, one
+// whole tick-bucket at a time (see drainUntil). Spawns for this shard's
+// own arcs enter the calendar immediately (and are drained within the
+// window if they fall inside it); cross-shard spawns land in outboxes
+// with t >= end by the lookahead bound.
 func (sh *shard) runWindow(end Time) {
-	st := &sh.st
-	for len(st.queue.a) > 0 && st.queue.a[0].t < end {
-		ev := st.queue.pop()
-		st.res.Events++
-		st.now, st.curKey = ev.t, ev.key
-		st.handle(ev)
-	}
+	sh.st.drainUntil(end)
 }
 
 // drain moves every event other shards spawned for this shard into its
-// heap. Each shard writes only its own outbox slot in every peer, so the
-// phase runs without locks.
+// calendar queue. Each shard writes only its own outbox slot in every
+// peer, so the phase runs without locks.
 func (sh *shard) drain(all []*shard) {
 	for _, o := range all {
 		box := o.outbox[sh.id]
