@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick q14-smoke verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick transport-quick q14-smoke verify
 
 all: verify
 
@@ -108,8 +108,24 @@ oracle-quick:
 q14-smoke:
 	$(GO) run ./cmd/atasim -net Q14 -algo ihc -eta 2 -ledger
 
+# Real-transport smoke: first the transport/cluster/repair unit tests
+# under the race detector (jittered backoff, breaker transitions, the
+# peer-dies-and-reconnects NAK path, and the in-process loopback + TCP
+# chaos rounds), then the multi-process check — `ihcd -launch` boots 8
+# real ihcd daemons as separate OS processes on a Q3 overlay with a
+# socket-level chaos proxy on every link, SIGKILLs node 6 mid-round,
+# partitions link {1,3}, and requires every survivor's counters-only
+# ledger to show the exact γ-copy postcondition plus a clean (exit 0)
+# SIGTERM shutdown; the -faultfree leg additionally requires the
+# wall-clock delivery multiset to equal the discrete-event engine's.
+transport-quick:
+	$(GO) test -race -count=1 ./internal/transport ./internal/cluster ./internal/repair ./internal/hlc
+	$(GO) run ./cmd/ihcd -launch
+	$(GO) run ./cmd/ihcd -launch -faultfree
+
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean),
 # then the engine-allocation smoke, the sharded-engine equivalence
-# smoke, the quick recovery sweep, and the quick oracle sweep.
-verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick
+# smoke, the quick recovery sweep, the quick oracle sweep, and the
+# real-transport multi-process smoke.
+verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick transport-quick

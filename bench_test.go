@@ -89,7 +89,7 @@ func BenchmarkSuiteParallel(b *testing.B)   { benchSuite(b, 0) }
 // Hamiltonian decomposition of Q10 (1024 nodes, 5 cycles, including a
 // Lemma 2 splice).
 func BenchmarkDecomposeHypercube(b *testing.B) {
-	g := topology.Hypercube(10)
+	g := topology.MustHypercube(10)
 	for i := 0; i < b.N; i++ {
 		cycles, err := hamilton.Hypercube(10)
 		if err != nil {
@@ -105,7 +105,7 @@ func BenchmarkDecomposeHypercube(b *testing.B) {
 // broadcast on Q8 (256 nodes, γ = 8: 522k tee deliveries per run) and
 // reports simulator throughput.
 func BenchmarkIHCFullATA(b *testing.B) {
-	g := topology.Hypercube(8)
+	g := topology.MustHypercube(8)
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		b.Fatal(err)
@@ -137,7 +137,7 @@ func BenchmarkIHCFullATA(b *testing.B) {
 // events/sec and ns/event; `make bench-engine` records the numbers in
 // BENCH_engine.json.
 func BenchmarkEngineQ10ATA(b *testing.B) {
-	g := topology.Hypercube(10)
+	g := topology.MustHypercube(10)
 	cycles, err := hamilton.Hypercube(10)
 	if err != nil {
 		b.Fatal(err)
@@ -167,7 +167,7 @@ func BenchmarkEngineQ10ATA(b *testing.B) {
 // pipeline of 256 packets x 255 hops.
 func BenchmarkSimnetPipeline(b *testing.B) {
 	const n = 256
-	g := topology.Cycle(n)
+	g := topology.MustCycle(n)
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 	ring := make([]topology.Node, 2*n)
 	for i := range ring {
@@ -210,7 +210,7 @@ func BenchmarkKSPatternSearch(b *testing.B) {
 
 func benchKSSize(b *testing.B, m int) {
 	b.Helper()
-	g := topology.HexMesh(m)
+	g := topology.MustHexMesh(m)
 	cycles, err := hamilton.HexMesh(m)
 	if err != nil {
 		b.Fatal(err)

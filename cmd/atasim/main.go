@@ -18,14 +18,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"ihc/internal/baseline/atarun"
 	"ihc/internal/baseline/frs"
@@ -71,6 +74,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	stop, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fail(err)
@@ -110,10 +116,11 @@ func main() {
 		// fresh simnet.Network), so the η sweep points fan out across a
 		// bounded pool; results print in input order.
 		type out struct {
-			res *core.Result
-			err error
-			met *observe.Metrics
-			orc *observe.Oracle
+			res  *core.Result
+			err  error
+			met  *observe.Metrics
+			orc  *observe.Oracle
+			done bool
 		}
 		outs := make([]out, len(etas))
 		w := *workers
@@ -129,6 +136,11 @@ func main() {
 			w = 1
 		}
 		runOne := func(i int) {
+			select {
+			case <-ctx.Done():
+				return // sweep interrupted: leave the point unrun
+			default:
+			}
 			var sinks []simnet.Observer
 			if trace != nil {
 				sinks = append(sinks, trace)
@@ -158,7 +170,7 @@ func main() {
 				}
 				o, err := observe.NewOracle(oc)
 				if err != nil {
-					outs[i] = out{err: err}
+					outs[i] = out{err: err, done: true}
 					return
 				}
 				orc = o
@@ -170,7 +182,7 @@ func main() {
 				Observe:       observe.Tee(sinks...),
 				EngineWorkers: *engineW,
 			})
-			outs[i] = out{res, err, met, orc}
+			outs[i] = out{res, err, met, orc, true}
 		}
 		if w <= 1 {
 			for i := range etas {
@@ -188,19 +200,29 @@ func main() {
 					}
 				}()
 			}
+		dispatch:
 			for i := range etas {
-				idx <- i
+				select {
+				case idx <- i:
+				case <-ctx.Done():
+					break dispatch
+				}
 			}
 			close(idx)
 			wg.Wait()
 		}
+		printed := false
 		for i, o := range outs {
+			if !o.done {
+				continue // skipped after an interrupt
+			}
 			if o.err != nil {
 				fail(o.err)
 			}
-			if i > 0 {
+			if printed {
 				fmt.Println()
 			}
+			printed = true
 			res := o.res
 			fmt.Printf("IHC on %s: η=%d γ=%d\n", g.Name(), etas[i], x.Gamma())
 			fmt.Printf("finish:       %d ticks\n", res.Finish)
@@ -312,6 +334,10 @@ func main() {
 	if err := traceDone(); err != nil {
 		fail(err)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "atasim: interrupted; completed sweep points flushed")
+		os.Exit(3)
+	}
 }
 
 // openTrace builds the requested trace exporter. The returned done func
@@ -415,16 +441,16 @@ func sizeOf(g *topology.Graph, prefix string) (int, bool) {
 
 func buildGraph(name string) (*topology.Graph, error) {
 	if m, ok := parseNet(name, "SQ"); ok {
-		return topology.SquareTorus(m), nil
+		return topology.SquareTorus(m)
 	}
 	if dims, ok := topology.TorusDims(name); ok {
-		return topology.TorusND(dims...), nil
+		return topology.TorusND(dims...)
 	}
 	if m, ok := parseNet(name, "Q"); ok {
-		return topology.Hypercube(m), nil
+		return topology.Hypercube(m)
 	}
 	if m, ok := parseNet(name, "H"); ok {
-		return topology.HexMesh(m), nil
+		return topology.HexMesh(m)
 	}
 	return nil, fmt.Errorf("atasim: cannot parse network %q (want Q<m>, SQ<m>, H<m>, or T<k1>x<k2>x...)", name)
 }

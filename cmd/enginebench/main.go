@@ -145,7 +145,7 @@ func main() {
 		fail(err)
 	}
 
-	g := topology.Hypercube(10)
+	g := topology.MustHypercube(10)
 	cycles, err := hamilton.Hypercube(10)
 	if err != nil {
 		fail(err)

@@ -19,14 +19,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"ihc/internal/campaign"
@@ -52,6 +56,9 @@ type report struct {
 	ElapsedSec       float64              `json:"elapsed_sec"`
 	PlacementsPerSec float64              `json:"placements_per_sec"`
 	Violations       []string             `json:"bound_violations,omitempty"`
+	// Interrupted marks a report flushed after SIGINT/SIGTERM: the
+	// frontiers present are complete, the rest never ran.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 type repairedFrontier struct {
@@ -77,7 +84,10 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := campaign.Search{Budget: *budget, Samples: *samples, CrossCheck: 997}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	cfg := campaign.Search{Budget: *budget, Samples: *samples, CrossCheck: 997, Cancel: ctx.Done()}
 	if *quick {
 		if cfg.Budget > 2000 {
 			cfg.Budget = 2000
@@ -167,35 +177,58 @@ func main() {
 			}
 		}()
 	}
+dispatch:
 	for j := range jobs {
-		idx <- j
+		select {
+		case idx <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	stopProf()
+	interrupted := ctx.Err() != nil
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, campaign.ErrCanceled) {
 			fail(err)
 		}
+	}
+	if interrupted {
+		// Keep the frontiers that finished; flush them below so a long
+		// campaign interrupted near the end still leaves its data.
+		done := frontiers[:0]
+		for _, f := range frontiers {
+			if f != nil {
+				done = append(done, f)
+			}
+		}
+		frontiers = done
 	}
 
 	rep := report{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		Workers:   w, Budget: cfg.Budget, Samples: cfg.Samples, Seed: *seed,
-		Frontiers:  frontiers,
-		ElapsedSec: time.Since(start).Seconds(),
+		Frontiers:   frontiers,
+		ElapsedSec:  time.Since(start).Seconds(),
+		Interrupted: interrupted,
 	}
-	if *repairF {
+	if *repairF && !interrupted {
 		// Each repaired placement costs a full engine simulation plus a
 		// baseline run, so the repaired sweep gets its own small budget.
 		rcfg := campaign.Search{Budget: 60, Samples: 40}
 		if *quick {
 			rcfg = campaign.Search{Budget: 30, Samples: 15}
 		}
+		rcfg.Cancel = ctx.Done()
 		for _, tgt := range repairTargets {
 			gamma := tgt.x.Gamma()
 			reports, maxSafe, err := campaign.RepairedFrontier(tgt.x, gamma+1, rcfg, *seed)
+			if errors.Is(err, campaign.ErrCanceled) {
+				rep.Interrupted = true
+				break
+			}
 			if err != nil {
 				fail(err)
 			}
@@ -261,6 +294,11 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "faultcamp: interrupted; partial report (%d of %d frontiers) flushed to %s\n",
+			len(frontiers), len(jobs), *out)
+		os.Exit(3)
+	}
 }
 
 // preflight runs one fault-free IHC execution under the full theorem
@@ -305,19 +343,19 @@ func parseTopo(s string) (*topology.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return topology.SquareTorus(m), nil
+		return topology.SquareTorus(m)
 	case strings.HasPrefix(s, "q"):
 		n, err := num("q")
 		if err != nil {
 			return nil, err
 		}
-		return topology.Hypercube(n), nil
+		return topology.Hypercube(n)
 	case strings.HasPrefix(s, "h"):
 		m, err := num("h")
 		if err != nil {
 			return nil, err
 		}
-		return topology.HexMesh(m), nil
+		return topology.HexMesh(m)
 	}
 	return nil, fmt.Errorf("unknown topology %q (want sqM, qN, or hM)", s)
 }

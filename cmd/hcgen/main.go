@@ -71,16 +71,16 @@ func buildGraph(name string) (*topology.Graph, error) {
 		return m, true
 	}
 	if m, ok := parse("SQ"); ok {
-		return topology.SquareTorus(m), nil
+		return topology.SquareTorus(m)
 	}
 	if dims, ok := topology.TorusDims(name); ok {
-		return topology.TorusND(dims...), nil
+		return topology.TorusND(dims...)
 	}
 	if m, ok := parse("Q"); ok {
-		return topology.Hypercube(m), nil
+		return topology.Hypercube(m)
 	}
 	if m, ok := parse("H"); ok {
-		return topology.HexMesh(m), nil
+		return topology.HexMesh(m)
 	}
 	return nil, fmt.Errorf("hcgen: cannot parse network %q (want Q<m>, SQ<m>, H<m>, or T<k1>x<k2>x...)", name)
 }

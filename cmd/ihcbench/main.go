@@ -24,11 +24,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"ihc/internal/harness"
@@ -77,6 +81,9 @@ func main() {
 		shared = observe.NewShared()
 	}
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	stats := &harness.RunStats{}
 	cfg := harness.Config{
 		Quick: *quick,
@@ -91,6 +98,7 @@ func main() {
 		Stats:         stats,
 		Metrics:       shared,
 		Trace:         trace,
+		Cancel:        ctx.Done(),
 	}
 
 	exps := harness.All()
@@ -114,8 +122,14 @@ func main() {
 	elapsed := time.Since(start)
 	stopProf()
 
+	interrupted := ctx.Err() != nil
 	failures := 0
+	skipped := 0
 	for _, r := range reports {
+		if errors.Is(r.Err, harness.ErrCanceled) {
+			skipped++
+			continue
+		}
 		fmt.Printf("=== %s (%s): %s ===\n", r.ID, r.Paper, r.Title)
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "FAILED %s: %v\n\n", r.ID, r.Err)
@@ -148,6 +162,10 @@ func main() {
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "ihcbench: interrupted; %d experiment(s) skipped, completed tables flushed\n", skipped)
+		os.Exit(3)
 	}
 }
 

@@ -1,0 +1,533 @@
+// Command ihcd is the IHC node daemon: one process per network node,
+// executing the interleaved all-to-all broadcast schedule over real TCP
+// sockets with wall-clock stage starts, HLC drift correction, and
+// pull-based repair.
+//
+// Daemon mode (default) runs a single node:
+//
+//	ihcd -node 3 -m 3 -eta 2 -listen 127.0.0.1:4003 -peers book.json -epoch <unixnano>
+//
+// where book.json maps neighbor ids to dial addresses. The daemon runs
+// one ATA round, prints its RESULT verdict as JSON on stdout, then
+// keeps serving repair pulls until SIGTERM (exit 0) — a finished node
+// may be a straggler's only provider.
+//
+// Launch mode orchestrates a whole local cluster:
+//
+//	ihcd -launch -m 3 -eta 2            # chaos round: partition + crash
+//	ihcd -launch -faultfree             # clean round, compared against simnet
+//
+// The launcher spawns one child daemon per node, interposes a chaos
+// proxy on every directed link (chaos mode), SIGKILLs the crash victim
+// mid-round, collects every child's RESULT, asserts the γ-copy ledger
+// postcondition on all survivors, and exits nonzero on any violation.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ihc/internal/chaos"
+	"ihc/internal/core"
+	"ihc/internal/fault"
+	"ihc/internal/hamilton"
+	"ihc/internal/reliable"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+	"ihc/internal/transport"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ihcd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// result is the JSON verdict a daemon prints after its round.
+type result struct {
+	Node      int            `json:"node"`
+	OK        bool           `json:"ok"`
+	LedgerErr string         `json:"ledger_err,omitempty"`
+	Exhausted int            `json:"exhausted"`
+	Repaired  int            `json:"repaired"`
+	Naks      int            `json:"naks"`
+	Copies    map[int][]int  `json:"copies"` // source -> channels received
+	Stats     map[string]int `json:"stats"`
+	Interrupt bool           `json:"interrupted,omitempty"`
+}
+
+func main() {
+	var (
+		launch    = flag.Bool("launch", false, "orchestrate a full local cluster instead of running one node")
+		faultfree = flag.Bool("faultfree", false, "launch mode: run without chaos and compare deliveries against the simulator")
+		m         = flag.Int("m", 3, "hypercube dimension (N = 2^m nodes)")
+		eta       = flag.Int("eta", 2, "interleaving distance η")
+		node      = flag.Int("node", -1, "this daemon's node id (daemon mode)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address (daemon mode)")
+		peersPath = flag.String("peers", "", "path to the JSON neighbor address book (daemon mode)")
+		epochNano = flag.Int64("epoch", 0, "cluster epoch: wall-clock start of stage 0, Unix nanoseconds")
+		stageDur  = flag.Duration("stage-dur", 50*time.Millisecond, "wall-clock length of one schedule stage")
+		hopLat    = flag.Duration("hop-latency", time.Millisecond, "expected per-hop relay latency (deadline model)")
+		slack     = flag.Duration("slack", 100*time.Millisecond, "deadline slack before the first repair pull")
+		keySeed   = flag.Int64("key-seed", 7, "HMAC keyring master seed")
+		seed      = flag.Int64("seed", 99, "chaos / retry-jitter seed")
+		maxAtt    = flag.Int("max-attempts", 30, "repair pulls per missing copy before giving up")
+		timeout   = flag.Duration("timeout", 30*time.Second, "round timeout")
+	)
+	flag.Parse()
+
+	if *launch {
+		os.Exit(runLaunch(*m, *eta, *faultfree, *keySeed, *seed, *stageDur, *hopLat, *slack, *maxAtt, *timeout))
+	}
+	if *node < 0 {
+		fail("daemon mode needs -node (or use -launch)")
+	}
+	os.Exit(runDaemon(*m, *eta, *node, *listen, *peersPath, *epochNano, *stageDur, *hopLat, *slack, *keySeed, *seed, *maxAtt, *timeout))
+}
+
+func buildIHC(m int) (*core.IHC, error) {
+	g, err := topology.Hypercube(m)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := hamilton.Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(g, cycles)
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode
+
+func runDaemon(m, eta, self int, listen, peersPath string, epochNano int64, stageDur, hopLat, slack time.Duration, keySeed, seed int64, maxAtt int, timeout time.Duration) int {
+	x, err := buildIHC(m)
+	if err != nil {
+		fail("%v", err)
+	}
+	if peersPath == "" {
+		fail("daemon mode needs -peers")
+	}
+	raw, err := os.ReadFile(peersPath)
+	if err != nil {
+		fail("read peers: %v", err)
+	}
+	var book map[string]string
+	if err := json.Unmarshal(raw, &book); err != nil {
+		fail("parse peers: %v", err)
+	}
+	peers := make(map[topology.Node]string, len(book))
+	for k, addr := range book {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			fail("peers: bad node id %q", k)
+		}
+		peers[topology.Node(id)] = addr
+	}
+	epoch := time.Unix(0, epochNano)
+	if epochNano == 0 {
+		epoch = time.Now().Add(time.Second)
+	}
+
+	ep, err := transport.NewTCP(transport.TCPConfig{
+		Self:    topology.Node(self),
+		Graph:   x.Graph(),
+		Listen:  listen,
+		Peers:   peers,
+		Dial:    transport.BackoffConfig{Seed: seed + int64(self) + 1},
+		Breaker: transport.BreakerConfig{},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer ep.Close()
+
+	nd, err := transport.NewNode(transport.NodeConfig{
+		IHC:         x,
+		Eta:         eta,
+		Self:        topology.Node(self),
+		Endpoint:    ep,
+		Keyring:     reliable.NewKeyring(x.N(), keySeed),
+		Epoch:       epoch,
+		StageDur:    stageDur,
+		HopLatency:  hopLat,
+		Slack:       slack,
+		Retry:       transport.BackoffConfig{Base: 10 * time.Millisecond, Max: 150 * time.Millisecond, Factor: 1.6, Jitter: 0.2, Seed: seed*31 + int64(self) + 1},
+		MaxAttempts: maxAtt,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	// SIGINT/SIGTERM cancel the round; a signal before the round
+	// completes is an interrupted (nonzero) exit, after it a clean one.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	runCtx, cancelRun := context.WithTimeout(sigCtx, timeout)
+	defer cancelRun()
+
+	res, runErr := nd.Run(runCtx)
+	interrupted := runErr != nil && sigCtx.Err() != nil
+
+	out := result{
+		Node:      self,
+		OK:        runErr == nil && res.LedgerErr == nil && len(res.Exhausted) == 0,
+		Exhausted: len(res.Exhausted),
+		Repaired:  res.Repaired,
+		Naks:      res.NaksSent,
+		Copies:    make(map[int][]int),
+		Stats: map[string]int{
+			"sent": int(res.Stats.Sent), "received": int(res.Stats.Received),
+			"send_errors": int(res.Stats.SendErrors), "reconnects": int(res.Stats.Reconnects),
+			"dial_fails": int(res.Stats.DialFails),
+		},
+		Interrupt: interrupted,
+	}
+	if res.LedgerErr != nil {
+		out.LedgerErr = res.LedgerErr.Error()
+	}
+	for src, chans := range res.Copies {
+		cs := make([]int, len(chans))
+		for i, c := range chans {
+			cs[i] = int(c)
+		}
+		sort.Ints(cs)
+		out.Copies[int(src)] = cs
+	}
+	// The RESULT line is the machine-readable verdict the launcher
+	// scrapes; flush it even when interrupted so a dying campaign
+	// still reports partial state.
+	enc, _ := json.Marshal(out)
+	fmt.Printf("RESULT %s\n", enc)
+	os.Stdout.Sync()
+
+	if interrupted {
+		return 3
+	}
+	if runErr != nil || !out.OK {
+		// Keep serving briefly anyway: our stored copies may complete
+		// someone else's round even if ours failed.
+		nd.Serve(sigCtx)
+		return 2
+	}
+	// Round complete: serve repair pulls until told to stop.
+	nd.Serve(sigCtx)
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Launch mode
+
+type child struct {
+	node topology.Node
+	cmd  *exec.Cmd
+	res  *result
+	done chan error
+}
+
+func runLaunch(m, eta int, faultfree bool, keySeed, seed int64, stageDur, hopLat, slack time.Duration, maxAtt int, timeout time.Duration) int {
+	x, err := buildIHC(m)
+	if err != nil {
+		fail("%v", err)
+	}
+	g := x.Graph()
+	n := g.N()
+	gamma := x.Gamma()
+	self, err := os.Executable()
+	if err != nil {
+		fail("locate own binary: %v", err)
+	}
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	// Pre-allocate one listener address per node: bind, record, close.
+	// The window between close and the child's re-bind is a benign
+	// localhost race.
+	realAddrs := make(map[topology.Node]string, n)
+	for v := 0; v < n; v++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("reserve port: %v", err)
+		}
+		realAddrs[topology.Node(v)] = ln.Addr().String()
+		ln.Close()
+	}
+
+	epoch := time.Now().Add(1500 * time.Millisecond)
+
+	// The chaos scenario: partition link {1,3} for stages [1,4) and
+	// crash node 6 one stage in — after its own stage-0 injections
+	// (η=2 puts every even-position node in stage 0) have propagated,
+	// so survivors still owe each other γ copies of all N sources.
+	var plan *chaos.Plan
+	crashes := map[topology.Node]time.Duration{}
+	peerAddrs := func(v topology.Node) map[topology.Node]string {
+		out := make(map[topology.Node]string)
+		for _, nb := range g.Neighbors(v) {
+			out[nb] = realAddrs[nb]
+		}
+		return out
+	}
+	if !faultfree {
+		plan, err = chaos.NewPlan(chaos.Config{
+			Graph: g,
+			Plan: &fault.TemporalPlan{
+				Nodes: []fault.NodeFault{{Node: 6, Kind: fault.Crash, At: 1}},
+				Links: []fault.LinkFault{{U: 1, V: 3, From: 1, Until: 4}},
+			},
+			TickDur:     stageDur, // plan ticks are whole stages
+			Seed:        seed,
+			DropRate:    0.05,
+			DupRate:     0.05,
+			CorruptRate: 0.03,
+			DelayRate:   0.1,
+			MaxDelay:    3 * time.Millisecond,
+			Epoch:       epoch,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		pm, err := chaos.NewProxyMesh(plan, realAddrs)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer pm.Close()
+		peerAddrs = pm.Addrs
+		crashes = plan.Crashes()
+	}
+
+	// Per-child address books.
+	dir, err := os.MkdirTemp("", "ihcd-launch-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	children := make(map[topology.Node]*child, n)
+	defer func() {
+		for _, c := range children {
+			if c.cmd.Process != nil {
+				c.cmd.Process.Kill()
+			}
+		}
+	}()
+	for v := 0; v < n; v++ {
+		nodeID := topology.Node(v)
+		book := make(map[string]string)
+		for nb, addr := range peerAddrs(nodeID) {
+			book[strconv.Itoa(int(nb))] = addr
+		}
+		raw, _ := json.Marshal(book)
+		path := fmt.Sprintf("%s/peers-%d.json", dir, v)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			fail("%v", err)
+		}
+		cmd := exec.Command(self,
+			"-node", strconv.Itoa(v),
+			"-m", strconv.Itoa(m),
+			"-eta", strconv.Itoa(eta),
+			"-listen", realAddrs[nodeID],
+			"-peers", path,
+			"-epoch", strconv.FormatInt(epoch.UnixNano(), 10),
+			"-stage-dur", stageDur.String(),
+			"-hop-latency", hopLat.String(),
+			"-slack", slack.String(),
+			"-key-seed", strconv.FormatInt(keySeed, 10),
+			"-seed", strconv.FormatInt(seed, 10),
+			"-max-attempts", strconv.Itoa(maxAtt),
+			"-timeout", timeout.String(),
+		)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := cmd.Start(); err != nil {
+			fail("start node %d: %v", v, err)
+		}
+		c := &child{node: nodeID, cmd: cmd, done: make(chan error, 1)}
+		children[nodeID] = c
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				line := sc.Text()
+				if rest, ok := strings.CutPrefix(line, "RESULT "); ok {
+					var r result
+					if json.Unmarshal([]byte(rest), &r) == nil {
+						c.res = &r
+					}
+				}
+			}
+			c.done <- cmd.Wait()
+		}()
+	}
+
+	// Execute the plan's crashes with SIGKILL — a real crash, not a
+	// polite shutdown.
+	for v, at := range crashes {
+		v, at := v, at
+		go func() {
+			select {
+			case <-sigCtx.Done():
+				return
+			case <-time.After(time.Until(epoch.Add(at))):
+			}
+			if c := children[v]; c.cmd.Process != nil {
+				c.cmd.Process.Kill()
+				fmt.Printf("ihcd: crashed node %d (SIGKILL) at %s into the round\n", v, at)
+			}
+		}()
+	}
+
+	// Wait for every survivor's RESULT: poll children until each
+	// non-crashed child printed one or the deadline passes.
+	deadline := time.After(timeout + 5*time.Second)
+	pending := make(map[topology.Node]bool)
+	for v := range children {
+		if _, dies := crashes[v]; !dies {
+			pending[v] = true
+		}
+	}
+	for len(pending) > 0 {
+		select {
+		case <-sigCtx.Done():
+			fmt.Fprintln(os.Stderr, "ihcd: interrupted; killing cluster")
+			return 3
+		case <-deadline:
+			fail("timed out waiting for RESULT from nodes %v", keys(pending))
+		case <-time.After(20 * time.Millisecond):
+			for v := range pending {
+				if children[v].res != nil {
+					delete(pending, v)
+				}
+			}
+		}
+	}
+
+	// Verdict: every survivor must report the exact γ-copy
+	// postcondition over all N sources — including the crashed node's
+	// messages, which were injected before the crash and repaired
+	// around it.
+	violations := 0
+	totalRepaired, totalNaks, totalReconnects := 0, 0, 0
+	for v, c := range children {
+		if _, dies := crashes[v]; dies {
+			continue
+		}
+		r := c.res
+		totalRepaired += r.Repaired
+		totalNaks += r.Naks
+		totalReconnects += r.Stats["reconnects"]
+		if !r.OK {
+			fmt.Fprintf(os.Stderr, "ihcd: node %d FAILED: ledger=%q exhausted=%d\n", v, r.LedgerErr, r.Exhausted)
+			violations++
+			continue
+		}
+		if err := checkCopies(r, int(v), n, gamma); err != nil {
+			fmt.Fprintf(os.Stderr, "ihcd: node %d FAILED: %v\n", v, err)
+			violations++
+		}
+	}
+
+	// Fault-free acceptance: the wall-clock delivery multiset must
+	// equal the discrete-event engine's on the same schedule.
+	if faultfree && violations == 0 {
+		sim, err := x.Run(core.Config{Eta: eta, Params: simnet.Params{}.Defaulted()})
+		if err != nil {
+			fail("simnet reference: %v", err)
+		}
+		for v, c := range children {
+			for s := 0; s < n; s++ {
+				if int(v) == s {
+					continue
+				}
+				want := sim.Copies.Get(v, topology.Node(s))
+				if got := len(c.res.Copies[s]); got != want {
+					fmt.Fprintf(os.Stderr, "ihcd: node %d got %d copies from %d, simnet delivered %d\n", v, got, s, want)
+					violations++
+				}
+			}
+		}
+		if violations == 0 {
+			fmt.Printf("ihcd: wall-clock delivery multiset matches simnet (%d nodes × %d sources × γ=%d)\n", n, n-1, gamma)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM every survivor and require exit 0.
+	for v, c := range children {
+		if _, dies := crashes[v]; dies {
+			continue
+		}
+		c.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for v, c := range children {
+		if _, dies := crashes[v]; dies {
+			<-c.done // SIGKILLed: error expected, just reap it
+			continue
+		}
+		select {
+		case err := <-c.done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ihcd: node %d did not shut down cleanly: %v\n", v, err)
+				violations++
+			}
+		case <-time.After(5 * time.Second):
+			fmt.Fprintf(os.Stderr, "ihcd: node %d ignored SIGTERM\n", v)
+			c.cmd.Process.Kill()
+			violations++
+		}
+	}
+
+	mode := "chaos (partition {1,3}, crash node 6, drop/dup/corrupt/delay)"
+	if faultfree {
+		mode = "fault-free"
+	}
+	fmt.Printf("ihcd: %s round on Q%d complete: %d survivors verified γ=%d copies/source; %d repaired copies, %d NAKs, %d reconnects, %d violations\n",
+		mode, m, n-len(crashes), gamma, totalRepaired, totalNaks, totalReconnects, violations)
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkCopies asserts one survivor's reported delivery multiset: for
+// every other source, exactly one copy per channel 0..γ-1.
+func checkCopies(r *result, self, n, gamma int) error {
+	for s := 0; s < n; s++ {
+		if s == self {
+			continue
+		}
+		chans := r.Copies[s]
+		if len(chans) != gamma {
+			return fmt.Errorf("%d copies from source %d, want γ=%d", len(chans), s, gamma)
+		}
+		for j := 0; j < gamma; j++ {
+			if chans[j] != j {
+				return fmt.Errorf("copies from source %d arrived on channels %v, want one per channel 0..%d", s, chans, gamma-1)
+			}
+		}
+	}
+	return nil
+}
+
+func keys(m map[topology.Node]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, int(v))
+	}
+	sort.Ints(out)
+	return out
+}

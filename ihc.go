@@ -97,7 +97,11 @@ func NewHypercube(m int) (*IHC, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("ihc: hypercube dimension must be >= 2, got %d", m)
 	}
-	return New(topology.Hypercube(m))
+	g, err := topology.Hypercube(m)
+	if err != nil {
+		return nil, err
+	}
+	return New(g)
 }
 
 // NewSquareTorus returns the algorithm on the m x m torus-wrapped square
@@ -106,7 +110,11 @@ func NewSquareTorus(m int) (*IHC, error) {
 	if m < 3 {
 		return nil, fmt.Errorf("ihc: square torus size must be >= 3, got %d", m)
 	}
-	return New(topology.SquareTorus(m))
+	g, err := topology.SquareTorus(m)
+	if err != nil {
+		return nil, err
+	}
+	return New(g)
 }
 
 // NewHexMesh returns the algorithm on the C-wrapped hexagonal mesh H_m
@@ -115,7 +123,11 @@ func NewHexMesh(m int) (*IHC, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("ihc: hex mesh size must be >= 2, got %d", m)
 	}
-	return New(topology.HexMesh(m))
+	g, err := topology.HexMesh(m)
+	if err != nil {
+		return nil, err
+	}
+	return New(g)
 }
 
 // NewTorusND returns the algorithm on the d-dimensional torus
@@ -132,5 +144,9 @@ func NewTorusND(dims ...int) (*IHC, error) {
 			return nil, fmt.Errorf("ihc: torus dimensions must be >= 3, got %v", dims)
 		}
 	}
-	return New(topology.TorusND(dims...))
+	g, err := topology.TorusND(dims...)
+	if err != nil {
+		return nil, err
+	}
+	return New(g)
 }

@@ -66,7 +66,7 @@ func TestFacadeRejectsBadSizes(t *testing.T) {
 
 func TestNewWithCyclesCustomNetwork(t *testing.T) {
 	// A 6-cycle is 2-regular with one HC: class Λ with γ = 2.
-	g := topology.Cycle(6)
+	g := topology.MustCycle(6)
 	x, err := NewWithCycles(g, []Cycle{{0, 1, 2, 3, 4, 5}})
 	if err != nil {
 		t.Fatal(err)

@@ -56,7 +56,7 @@ func rsSends(m int) [][]struct {
 	from topology.Node
 	dir  int
 } {
-	b := rs.New(m, 0, true)
+	b := rs.MustNew(m, 0, true)
 	out := make([][]struct {
 		from topology.Node
 		dir  int
@@ -73,12 +73,16 @@ func rsSends(m int) [][]struct {
 
 // Content returns the set of sources whose message crosses the directed
 // link (v, v ⊕ 2^d) at step k (1-based), excluding at the final step the
-// message that would merely return to its originator.
-func Content(m, k int, v topology.Node, d int) []topology.Node {
-	sends := rsSends(m)
-	if k < 1 || k > m+1 {
-		panic(fmt.Sprintf("frs: step %d out of range [1,%d]", k, m+1))
+// message that would merely return to its originator. Out-of-range
+// inputs are errors, not panics.
+func Content(m, k int, v topology.Node, d int) ([]topology.Node, error) {
+	if m < 1 || m > 20 {
+		return nil, fmt.Errorf("frs: dimension %d out of range [1,20]", m)
 	}
+	if k < 1 || k > m+1 {
+		return nil, fmt.Errorf("frs: step %d out of range [1,%d]", k, m+1)
+	}
+	sends := rsSends(m)
 	recv := v ^ topology.Node(1<<uint(d))
 	var out []topology.Node
 	for _, s := range sends[k-1] {
@@ -93,7 +97,7 @@ func Content(m, k int, v topology.Node, d int) []topology.Node {
 		}
 		out = append(out, src)
 	}
-	return out
+	return out, nil
 }
 
 // Copies computes the delivery matrix of the whole FRS broadcast from the
@@ -175,7 +179,10 @@ type Result struct {
 // The delivery matrix comes from the content model when copies is true.
 func Run(m int, p simnet.Params, copies bool) (*Result, error) {
 	p.Mode = simnet.StoreAndForward
-	g := topology.Hypercube(m)
+	g, err := topology.Hypercube(m)
+	if err != nil {
+		return nil, err
+	}
 	net, err := simnet.New(g, p)
 	if err != nil {
 		return nil, err

@@ -49,7 +49,11 @@ func TestContentSizesMatchStepLengths(t *testing.T) {
 	for k := 1; k <= m+1; k++ {
 		for _, v := range []topology.Node{0, 7, 12} {
 			for d := 0; d < m; d++ {
-				if got := len(Content(m, k, v, d)); got != lengths[k-1] {
+				c, err := Content(m, k, v, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := len(c); got != lengths[k-1] {
 					t.Fatalf("step %d link (%d,dir %d): content %d, want %d", k, v, d, got, lengths[k-1])
 				}
 			}
@@ -59,19 +63,25 @@ func TestContentSizesMatchStepLengths(t *testing.T) {
 
 func TestContentStepOne(t *testing.T) {
 	// Step 1: each link carries exactly its sender's own message.
-	c := Content(4, 1, 9, 2)
+	c, err := Content(4, 1, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c) != 1 || c[0] != 9 {
 		t.Fatalf("step-1 content = %v", c)
 	}
 }
 
-func TestContentRejectsBadStep(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on bad step")
-		}
-	}()
-	Content(4, 6, 0, 0)
+func TestContentRejectsBadInput(t *testing.T) {
+	if _, err := Content(4, 6, 0, 0); err == nil {
+		t.Fatal("no error on bad step")
+	}
+	if _, err := Content(4, 0, 0, 0); err == nil {
+		t.Fatal("no error on step 0")
+	}
+	if _, err := Content(0, 1, 0, 0); err == nil {
+		t.Fatal("no error on bad dimension")
+	}
 }
 
 // The fundamental FRS delivery property: every node receives exactly γ
@@ -105,7 +115,7 @@ func TestRunMatchesTableII(t *testing.T) {
 		}
 		// 100% utilization: every link busy the whole time except the
 		// γ+1 startups: LinkBusy = links * (finish - (γ+1)τ_S).
-		links := simnet.Time(2 * topology.Hypercube(m).M())
+		links := simnet.Time(2 * topology.MustHypercube(m).M())
 		wantBusy := links * (res.Finish - simnet.Time(m+1)*p.TauS)
 		if res.LinkBusy != wantBusy {
 			t.Fatalf("Q%d: link busy = %d, want %d", m, res.LinkBusy, wantBusy)
@@ -143,8 +153,11 @@ func TestQuickContentTranslationInvariance(t *testing.T) {
 		v := topology.Node(vRaw % 16)
 		k := int(kRaw)%(m+1) + 1
 		d := int(dRaw) % m
-		base := Content(m, k, 0, d)
-		shifted := Content(m, k, v, d)
+		base, errB := Content(m, k, 0, d)
+		shifted, errS := Content(m, k, v, d)
+		if errB != nil || errS != nil {
+			return false
+		}
 		if len(base) != len(shifted) {
 			return false
 		}

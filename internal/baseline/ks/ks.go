@@ -56,17 +56,28 @@ type Broadcast struct {
 }
 
 // New computes the KS broadcast pattern from src in H_m (m >= 2).
-func New(m int, src topology.Node) *Broadcast {
+// Out-of-range inputs are errors, not panics.
+func New(m int, src topology.Node) (*Broadcast, error) {
 	if m < 2 {
-		panic(fmt.Sprintf("ks: need m >= 2, got %d", m))
+		return nil, fmt.Errorf("ks: need m >= 2, got %d", m)
 	}
 	n := topology.HexMeshSize(m)
 	if int(src) < 0 || int(src) >= n {
-		panic(fmt.Sprintf("ks: source %d not in H%d", src, m))
+		return nil, fmt.Errorf("ks: source %d not in H%d", src, m)
 	}
 	b := &Broadcast{M: m, Src: src, N: n}
 	for dir := 0; dir < 6; dir++ {
 		b.buildTree(dir)
+	}
+	return b, nil
+}
+
+// MustNew is New for statically known-good inputs (the
+// regexp.MustCompile idiom).
+func MustNew(m int, src topology.Node) *Broadcast {
+	b, err := New(m, src)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }
@@ -439,9 +450,15 @@ func (b *Broadcast) Arcs() [6][]topology.Arc {
 
 // ATA runs KS-ATA: every node of H_m broadcasts in turn.
 func ATA(m int, p simnet.Params, opts atarun.Options) (*atarun.Result, error) {
-	g := topology.HexMesh(m)
+	g, err := topology.HexMesh(m)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := New(m, 0); err != nil {
+		return nil, err
+	}
 	gen := func(src topology.Node, start simnet.Time, seq int) []simnet.PacketSpec {
-		return New(m, src).Packets(start, seq)
+		return MustNew(m, src).Packets(start, seq)
 	}
 	return atarun.Sequential(g, p, gen, opts)
 }

@@ -22,8 +22,8 @@ func TestTreesSpanAndDontInterfere(t *testing.T) {
 	for _, m := range []int{2, 3, 4, 5, 6} {
 		n := topology.HexMeshSize(m)
 		for _, src := range []topology.Node{0, topology.Node(n / 2)} {
-			b := New(m, src)
-			g := topology.HexMesh(m)
+			b := MustNew(m, src)
+			g := topology.MustHexMesh(m)
 			seen := map[topology.Arc]int{}
 			arcs := b.Arcs()
 			for dir := 0; dir < 6; dir++ {
@@ -59,7 +59,7 @@ func TestTreesSpanAndDontInterfere(t *testing.T) {
 // delivery path (the paper's is 2m-2) — same Θ(√N) cut-through shape.
 func TestChainDepthAndHops(t *testing.T) {
 	for _, m := range []int{2, 3, 4, 5, 6, 8} {
-		b := New(m, 0)
+		b := MustNew(m, 0)
 		maxDepth := 0
 		for _, ch := range b.Chains {
 			d := 1
@@ -92,13 +92,13 @@ func TestChainDepthAndHops(t *testing.T) {
 // Simulated single broadcast: contention-free, six copies everywhere.
 func TestSingleBroadcast(t *testing.T) {
 	for _, m := range []int{2, 3, 4} {
-		g := topology.HexMesh(m)
+		g := topology.MustHexMesh(m)
 		n := g.N()
 		net, err := simnet.New(g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := net.Run(New(m, 0).Packets(0, 0), simnet.Options{Copies: true})
+		res, err := net.Run(MustNew(m, 0).Packets(0, 0), simnet.Options{Copies: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,21 +143,21 @@ func TestATA(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadInput(t *testing.T) {
-	for _, f := range []func(){
-		func() { New(1, 0) },
-		func() { New(3, 19) },
-		func() { New(3, -1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("no panic")
-				}
-			}()
-			f()
-		}()
+func TestNewRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		m   int
+		src topology.Node
+	}{{1, 0}, {3, 19}, {3, -1}} {
+		if b, err := New(tc.m, tc.src); err == nil || b != nil {
+			t.Fatalf("New(%d, %d) = %v, %v; want error", tc.m, tc.src, b, err)
+		}
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad input")
+		}
+	}()
+	MustNew(1, 0)
 }
 
 // Property: rotation invariance — direction d+1's tree is direction d's
@@ -165,7 +165,7 @@ func TestNewPanicsOnBadInput(t *testing.T) {
 func TestQuickRotationInvariance(t *testing.T) {
 	const m = 4
 	n := topology.HexMeshSize(m)
-	b := New(m, 0)
+	b := MustNew(m, 0)
 	omega := 3*m - 1
 	f := func(vRaw uint8, dRaw uint8) bool {
 		v := int(vRaw) % n

@@ -67,17 +67,29 @@ type Broadcast struct {
 // New computes the RS broadcast schedule from src in Q_m. When
 // includeReturns is true, the optional final-step sends that return
 // copies to the source are included (as in the unabridged Table I).
-func New(m int, src topology.Node, includeReturns bool) *Broadcast {
+// Out-of-range dimensions or sources are errors, not panics — bad input
+// must not crash a long-running process.
+func New(m int, src topology.Node, includeReturns bool) (*Broadcast, error) {
 	if m < 1 || m > 20 {
-		panic(fmt.Sprintf("rs: dimension %d out of range [1,20]", m))
+		return nil, fmt.Errorf("rs: dimension %d out of range [1,20]", m)
 	}
 	n := 1 << m
 	if int(src) < 0 || int(src) >= n {
-		panic(fmt.Sprintf("rs: source %d not in Q%d", src, m))
+		return nil, fmt.Errorf("rs: source %d not in Q%d", src, m)
 	}
 	b := &Broadcast{M: m, Src: src, includeReturns: includeReturns}
 	for i := 0; i < m; i++ {
 		b.buildTree(i)
+	}
+	return b, nil
+}
+
+// MustNew is New for statically known-good inputs (the
+// regexp.MustCompile idiom).
+func MustNew(m int, src topology.Node, includeReturns bool) *Broadcast {
+	b, err := New(m, src, includeReturns)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }
@@ -218,9 +230,16 @@ func (b *Broadcast) StepOps() [][]Op {
 
 // ATA runs VRS-ATA: every node of Q_m executes the VRS broadcast in turn.
 func ATA(m int, p simnet.Params, opts atarun.Options) (*atarun.Result, error) {
-	g := topology.Hypercube(m)
+	g, err := topology.Hypercube(m)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := New(m, 0, false); err != nil {
+		return nil, err
+	}
 	gen := func(src topology.Node, start simnet.Time, seq int) []simnet.PacketSpec {
-		return New(m, src, false).Packets(start, seq)
+		// m and src are validated above / drawn from g.
+		return MustNew(m, src, false).Packets(start, seq)
 	}
 	return atarun.Sequential(g, p, gen, opts)
 }

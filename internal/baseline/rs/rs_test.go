@@ -17,7 +17,7 @@ func mp() model.Params {
 }
 
 func TestBroadcastStructureQ4(t *testing.T) {
-	b := New(4, 0, false)
+	b := MustNew(4, 0, false)
 	// γ 2^γ sends minus the γ omitted returns.
 	if b.Sends() != 4*16-4 {
 		t.Fatalf("sends = %d, want 60", b.Sends())
@@ -60,7 +60,7 @@ func TestBroadcastStructureQ4(t *testing.T) {
 }
 
 func TestIncludeReturns(t *testing.T) {
-	b := New(4, 0, true)
+	b := MustNew(4, 0, true)
 	if b.Sends() != 4*16 {
 		t.Fatalf("sends with returns = %d, want 64", b.Sends())
 	}
@@ -83,7 +83,7 @@ func TestIncludeReturns(t *testing.T) {
 func TestPathsNodeDisjoint(t *testing.T) {
 	for _, m := range []int{3, 4, 5} {
 		for _, src := range []topology.Node{0, 5} {
-			b := New(m, src, false)
+			b := MustNew(m, src, false)
 			n := 1 << m
 			for v := topology.Node(0); int(v) < n; v++ {
 				if v == src {
@@ -108,7 +108,7 @@ func TestPathsNodeDisjoint(t *testing.T) {
 }
 
 func TestColumnsPartitionSends(t *testing.T) {
-	b := New(5, 0, false)
+	b := MustNew(5, 0, false)
 	total := 0
 	for ci, col := range b.Columns {
 		total += len(col.Route) - 1
@@ -141,12 +141,12 @@ func TestColumnsPartitionSends(t *testing.T) {
 // paper's structural bound (γ-1)(τ_S+μα)+2α.
 func TestSingleBroadcastTiming(t *testing.T) {
 	for _, m := range []int{4, 6} {
-		g := topology.Hypercube(m)
+		g := topology.MustHypercube(m)
 		net, err := simnet.New(g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := net.Run(New(m, 0, false).Packets(0, 0), simnet.Options{Copies: true})
+		res, err := net.Run(MustNew(m, 0, false).Packets(0, 0), simnet.Options{Copies: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,35 +235,34 @@ func TestSaturatedATAWithinTableIV(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadInput(t *testing.T) {
-	for _, f := range []func(){
-		func() { New(0, 0, false) },
-		func() { New(25, 0, false) },
-		func() { New(3, 9, false) },
-		func() { New(3, -1, false) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("no panic on bad input")
-				}
-			}()
-			f()
-		}()
+func TestNewRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		m   int
+		src topology.Node
+	}{{0, 0}, {25, 0}, {3, 9}, {3, -1}} {
+		if b, err := New(tc.m, tc.src, false); err == nil || b != nil {
+			t.Fatalf("New(%d, %d) = %v, %v; want error", tc.m, tc.src, b, err)
+		}
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad input")
+		}
+	}()
+	MustNew(0, 0, false)
 }
 
 // Property: for random sources in Q5, the broadcast covers every node
 // exactly γ times with no contention.
 func TestQuickBroadcastFromAnySource(t *testing.T) {
-	g := topology.Hypercube(5)
+	g := topology.MustHypercube(5)
 	f := func(srcRaw uint8) bool {
 		src := topology.Node(srcRaw % 32)
 		net, err := simnet.New(g, p)
 		if err != nil {
 			return false
 		}
-		res, err := net.Run(New(5, src, false).Packets(0, 0), simnet.Options{Copies: true})
+		res, err := net.Run(MustNew(5, src, false).Packets(0, 0), simnet.Options{Copies: true})
 		if err != nil || res.Contentions != 0 {
 			return false
 		}

@@ -78,18 +78,29 @@ type Broadcast struct {
 }
 
 // New computes the VSQ broadcast pattern from src in SQ_m (m >= 3).
-func New(m int, src topology.Node) *Broadcast {
+// Out-of-range inputs are errors, not panics.
+func New(m int, src topology.Node) (*Broadcast, error) {
 	if m < 3 {
-		panic(fmt.Sprintf("vsq: need m >= 3, got %d", m))
+		return nil, fmt.Errorf("vsq: need m >= 3, got %d", m)
 	}
 	n := m * m
 	if int(src) < 0 || int(src) >= n {
-		panic(fmt.Sprintf("vsq: source %d not in SQ%d", src, m))
+		return nil, fmt.Errorf("vsq: source %d not in SQ%d", src, m)
 	}
 	b := &Broadcast{M: m, Src: src}
 	sr, sc := topology.TorusCoords(m, src)
 	for dir := 0; dir < 4; dir++ {
 		b.buildTree(dir, sr, sc)
+	}
+	return b, nil
+}
+
+// MustNew is New for statically known-good inputs (the
+// regexp.MustCompile idiom).
+func MustNew(m int, src topology.Node) *Broadcast {
+	b, err := New(m, src)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }
@@ -200,9 +211,15 @@ func (b *Broadcast) Arcs() [4][]topology.Arc {
 
 // ATA runs VSQ-ATA: every node of SQ_m broadcasts in turn.
 func ATA(m int, p simnet.Params, opts atarun.Options) (*atarun.Result, error) {
-	g := topology.SquareTorus(m)
+	g, err := topology.SquareTorus(m)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := New(m, 0); err != nil {
+		return nil, err
+	}
 	gen := func(src topology.Node, start simnet.Time, seq int) []simnet.PacketSpec {
-		return New(m, src).Packets(start, seq)
+		return MustNew(m, src).Packets(start, seq)
 	}
 	return atarun.Sequential(g, p, gen, opts)
 }

@@ -22,8 +22,8 @@ func mp() model.Params {
 func TestTreesSpanAndDontInterfere(t *testing.T) {
 	for _, m := range []int{3, 4, 5, 8} {
 		for _, src := range []topology.Node{0, topology.TorusNode(m, 1, 2)} {
-			b := New(m, src)
-			g := topology.SquareTorus(m)
+			b := MustNew(m, src)
+			g := topology.MustSquareTorus(m)
 			seen := map[topology.Arc]int{}
 			arcs := b.Arcs()
 			for dir := 0; dir < 4; dir++ {
@@ -58,7 +58,7 @@ func TestTreesSpanAndDontInterfere(t *testing.T) {
 // chain heads (store-and-forwards) deep.
 func TestPathProfile(t *testing.T) {
 	for _, m := range []int{3, 5, 8} {
-		b := New(m, 0)
+		b := MustNew(m, 0)
 		maxHops := 0
 		for dir := 0; dir < 4; dir++ {
 			for v := topology.Node(1); int(v) < m*m; v++ {
@@ -91,12 +91,12 @@ func TestPathProfile(t *testing.T) {
 // within the paper's Table II per-broadcast time.
 func TestSingleBroadcast(t *testing.T) {
 	for _, m := range []int{4, 6} {
-		g := topology.SquareTorus(m)
+		g := topology.MustSquareTorus(m)
 		net, err := simnet.New(g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := net.Run(New(m, 0).Packets(0, 0), simnet.Options{Copies: true})
+		res, err := net.Run(MustNew(m, 0).Packets(0, 0), simnet.Options{Copies: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,31 +164,31 @@ func TestSaturatedWithinTableIV(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadInput(t *testing.T) {
-	for _, f := range []func(){
-		func() { New(2, 0) },
-		func() { New(4, 16) },
-		func() { New(4, -1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("no panic")
-				}
-			}()
-			f()
-		}()
+func TestNewRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		m   int
+		src topology.Node
+	}{{2, 0}, {4, 16}, {4, -1}} {
+		if b, err := New(tc.m, tc.src); err == nil || b != nil {
+			t.Fatalf("New(%d, %d) = %v, %v; want error", tc.m, tc.src, b, err)
+		}
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad input")
+		}
+	}()
+	MustNew(2, 0)
 }
 
 // Property: the pattern is translation-invariant — the tree from any
 // source is the source-0 tree shifted.
 func TestQuickTranslationInvariance(t *testing.T) {
 	const m = 5
-	base := New(m, 0)
+	base := MustNew(m, 0)
 	f := func(sRaw uint8) bool {
 		src := topology.Node(sRaw % 25)
-		b := New(m, src)
+		b := MustNew(m, src)
 		sr, sc := topology.TorusCoords(m, src)
 		for dir := 0; dir < 4; dir++ {
 			for v := 0; v < 25; v++ {

@@ -29,7 +29,7 @@ func mustIHC(t *testing.T, g *topology.Graph) *core.IHC {
 // domain and kind, signed and unsigned.
 func TestGraderMatchesEvaluateIHC(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	for _, g := range []*topology.Graph{topology.SquareTorus(4), topology.HexMesh(3)} {
+	for _, g := range []*topology.Graph{topology.MustSquareTorus(4), topology.MustHexMesh(3)} {
 		x := mustIHC(t, g)
 		kr := reliable.NewKeyring(g.N(), 3)
 		cases := []struct {
@@ -80,9 +80,9 @@ func TestUnsignedNoisyLinkFrontier(t *testing.T) {
 		g     *topology.Graph
 		bound int // ⌈γ/2⌉−1
 	}{
-		{topology.SquareTorus(4), 1}, // SQ4, γ=4
-		{topology.Hypercube(4), 1},   // Q4, γ=4
-		{topology.HexMesh(3), 2},     // H3, γ=6
+		{topology.MustSquareTorus(4), 1}, // SQ4, γ=4
+		{topology.MustHypercube(4), 1},   // Q4, γ=4
+		{topology.MustHexMesh(3), 2},     // H3, γ=6
 	} {
 		x := mustIHC(t, tc.g)
 		base := Point{X: x, Domain: DomainLinks, Kind: fault.Corrupt, Seed: 1}
@@ -130,8 +130,8 @@ func TestSignedNoisyLinkFrontier(t *testing.T) {
 		g     *topology.Graph
 		gamma int
 	}{
-		{topology.SquareTorus(4), 4},
-		{topology.HexMesh(3), 6},
+		{topology.MustSquareTorus(4), 4},
+		{topology.MustHexMesh(3), 6},
 	} {
 		x := mustIHC(t, tc.g)
 		base := Point{X: x, Signed: true, Domain: DomainLinks, Kind: fault.Corrupt, Seed: 1}
@@ -163,7 +163,7 @@ func TestSignedNoisyLinkFrontier(t *testing.T) {
 // pair's routes in a domain this large; the alternating targeted
 // strategy is what finds the t=3 tie violation.
 func TestQ6UnsignedFrontier(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(6))
+	x := mustIHC(t, topology.MustHypercube(6))
 	base := Point{X: x, Domain: DomainLinks, Kind: fault.Corrupt, Seed: 1}
 	f, err := RunFrontier(base, DefaultSearch(), 3)
 	if err != nil {
@@ -196,7 +196,7 @@ func TestQ6UnsignedFrontier(t *testing.T) {
 func TestNodeFrontierPlacementMatters(t *testing.T) {
 	cfg := quickSearch()
 
-	sq4 := Point{X: mustIHC(t, topology.SquareTorus(4)), Domain: DomainNodes, Kind: fault.Crash, Seed: 1}
+	sq4 := Point{X: mustIHC(t, topology.MustSquareTorus(4)), Domain: DomainNodes, Kind: fault.Crash, Seed: 1}
 	f, err := RunFrontier(sq4, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +205,7 @@ func TestNodeFrontierPlacementMatters(t *testing.T) {
 		t.Errorf("SQ4 crash nodes: MaxSafe=%d MinBroken=%d, want 1/2", f.MaxSafe, f.MinBroken)
 	}
 
-	h3 := Point{X: mustIHC(t, topology.HexMesh(3)), Domain: DomainNodes, Kind: fault.Crash, Seed: 1}
+	h3 := Point{X: mustIHC(t, topology.MustHexMesh(3)), Domain: DomainNodes, Kind: fault.Crash, Seed: 1}
 	rep, err := RunPoint(Point{X: h3.X, Domain: DomainNodes, Kind: fault.Crash, Seed: 1, T: 2}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -226,7 +226,7 @@ func TestNodeFrontierPlacementMatters(t *testing.T) {
 // in turn and checks the violation disappears — the 1-minimality
 // contract — using the reference evaluator, not the structural grader.
 func TestShrinkIsOneMinimal(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	gr := newGrader(x, 7)
 	// Start from a deliberately fat violating placement: 6 noisy links
 	// found by scanning (unsigned).
@@ -267,7 +267,7 @@ func TestShrinkIsOneMinimal(t *testing.T) {
 // re-run with the same seeds is bitwise-identical in the deterministic
 // fields.
 func TestRunAllOrderAndDeterminism(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	points := []Point{
 		{X: x, Domain: DomainLinks, Kind: fault.Corrupt, T: 1, Seed: 9},
 		{X: x, Domain: DomainLinks, Kind: fault.Corrupt, T: 2, Seed: 9},

@@ -76,6 +76,11 @@ func RunRepairedPoint(x *core.IHC, t int, cfg Search, seed int64) (*RepairedRepo
 	var overheadSum float64
 
 	visit := func(elems []int) error {
+		select {
+		case <-cfg.Cancel:
+			return ErrCanceled
+		default:
+		}
 		res := topology.New("residual", g.N())
 		dead := make(map[int]bool, len(elems))
 		for _, ei := range elems {

@@ -13,7 +13,7 @@ import (
 // every connected placement at γ — and at γ+1 — must still deliver every
 // pair after NAK-driven retransmission over patched routes.
 func TestRepairedFrontierBeatsStaticBound(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	gamma := x.Gamma()
 	cfg := Search{Budget: 40, Samples: 25}
 	reports, maxSafe, err := RepairedFrontier(x, gamma+1, cfg, 12)
@@ -41,7 +41,7 @@ func TestRepairedFrontierBeatsStaticBound(t *testing.T) {
 
 // TestRunRepairedPointRange pins argument validation.
 func TestRunRepairedPointRange(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	if _, err := RunRepairedPoint(x, -1, DefaultSearch(), 1); err == nil {
 		t.Fatal("negative t accepted")
 	}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -30,7 +31,16 @@ type Search struct {
 	// Keyring signs messages for signed points; nil derives one per
 	// point.
 	Keyring *reliable.Keyring
+	// Cancel, when non-nil, aborts the search between placements once
+	// it is closed; the aborted call returns ErrCanceled. Wire a
+	// signal-bound context's Done() channel here for interruptible
+	// command-line runs.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned when a search stops because its Cancel
+// channel closed before the sweep finished.
+var ErrCanceled = errors.New("campaign: search canceled")
 
 // DefaultSearch is the standard configuration: exhaustive through a few
 // tens of thousands of placements, 10⁴ samples beyond, sparse live
@@ -130,6 +140,11 @@ func RunPoint(pt Point, cfg Search) (*Report, error) {
 	var firstViolation []int
 	graded := 0
 	visit := func(elems []int) error {
+		select {
+		case <-cfg.Cancel:
+			return ErrCanceled
+		default:
+		}
 		graded++
 		out := gr.grade(elems, pt.Domain, pt.Kind, pt.Signed)
 		if cfg.CrossCheck > 0 && graded%cfg.CrossCheck == 1 {

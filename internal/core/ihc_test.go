@@ -33,7 +33,7 @@ func mustIHC(t *testing.T, g *topology.Graph) *IHC {
 }
 
 func TestNewValidation(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	cycles, err := hamilton.Hypercube(4)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestIDAndPattern(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	if x.Gamma() != 4 {
 		t.Fatalf("gamma = %d", x.Gamma())
 	}
@@ -90,7 +90,7 @@ func TestIDAndPattern(t *testing.T) {
 // and η < 0 silently produced an empty schedule that "verified" as
 // contention-free.
 func TestEtaValidation(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	for _, tc := range []struct {
 		eta  int
 		ok   bool
@@ -151,7 +151,7 @@ func TestEtaValidation(t *testing.T) {
 }
 
 func TestStagePacketsStructure(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	specs, err := x.StagePackets(nil, 1, 2, 50, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -192,15 +192,15 @@ func TestDedicatedRunMatchesTableII(t *testing.T) {
 		eta int
 		mu  int
 	}{
-		{topology.Hypercube(4), 2, 2},
-		{topology.Hypercube(4), 4, 4},
-		{topology.Hypercube(5), 2, 2},
-		{topology.Hypercube(6), 2, 2},
-		{topology.SquareTorus(4), 2, 2},
-		{topology.SquareTorus(6), 3, 3},
-		{topology.SquareTorus(5), 5, 5},
-		{topology.HexMesh(3), 1, 1},
-		{topology.HexMesh(4), 1, 1},
+		{topology.MustHypercube(4), 2, 2},
+		{topology.MustHypercube(4), 4, 4},
+		{topology.MustHypercube(5), 2, 2},
+		{topology.MustHypercube(6), 2, 2},
+		{topology.MustSquareTorus(4), 2, 2},
+		{topology.MustSquareTorus(6), 3, 3},
+		{topology.MustSquareTorus(5), 5, 5},
+		{topology.MustHexMesh(3), 1, 1},
+		{topology.MustHexMesh(4), 1, 1},
 	}
 	for _, tc := range cases {
 		x := mustIHC(t, tc.g)
@@ -237,10 +237,10 @@ func TestDedicatedRunMatchesTableII(t *testing.T) {
 // τ_S + (N-1)α exactly.
 func TestTheorem4Optimality(t *testing.T) {
 	for _, g := range []*topology.Graph{
-		topology.Hypercube(4),
-		topology.Hypercube(6),
-		topology.SquareTorus(5),
-		topology.HexMesh(3),
+		topology.MustHypercube(4),
+		topology.MustHypercube(6),
+		topology.MustSquareTorus(5),
+		topology.MustHexMesh(3),
 	} {
 		x := mustIHC(t, g)
 		p := params(1)
@@ -257,7 +257,7 @@ func TestTheorem4Optimality(t *testing.T) {
 
 // η < μ must contend (negative control for the interleaving invariant).
 func TestEtaBelowMuContends(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	res, err := x.Run(Config{Eta: 1, Params: params(2)})
 	if err != nil {
 		t.Fatal(err)
@@ -282,9 +282,9 @@ func TestOverlappedStages(t *testing.T) {
 		g   *topology.Graph
 		eta int
 	}{
-		{topology.Hypercube(4), 2},
-		{topology.Hypercube(4), 4},
-		{topology.SquareTorus(6), 3},
+		{topology.MustHypercube(4), 2},
+		{topology.MustHypercube(4), 4},
+		{topology.MustSquareTorus(6), 3},
 	} {
 		x := mustIHC(t, tc.g)
 		p := params(tc.eta) // η = μ
@@ -317,7 +317,7 @@ func TestOverlappedStages(t *testing.T) {
 // Saturated regime reproduces Table IV exactly.
 func TestSaturatedMatchesTableIV(t *testing.T) {
 	for _, eta := range []int{1, 2, 4} {
-		x := mustIHC(t, topology.Hypercube(4))
+		x := mustIHC(t, topology.MustHypercube(4))
 		p := params(2)
 		res, err := x.Run(Config{Eta: eta, Params: p, Saturated: true})
 		if err != nil {
@@ -336,7 +336,7 @@ func TestSaturatedMatchesTableIV(t *testing.T) {
 // Background traffic slows the broadcast but never past the Table IV
 // bound's regime, and delivery stays complete.
 func TestLoadedNetworkDegradesGracefully(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	p := params(2)
 	p.Rho = 0.4
 	p.Seed = 11
@@ -359,7 +359,7 @@ func TestLoadedNetworkDegradesGracefully(t *testing.T) {
 // Injection skew stretches time but does not break correctness or cause
 // packet loss ("it merely affects the amount of time required").
 func TestSkewToleratedCorrectly(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	p := params(2)
 	skew := func(v topology.Node, stage int) simnet.Time {
 		return simnet.Time(v%5) * 7 // deterministic jitter up to 28 ticks
@@ -380,7 +380,7 @@ func TestSkewToleratedCorrectly(t *testing.T) {
 // Per-cycle stage chaining produces the same result in a dedicated
 // network (all cycles advance in lockstep anyway).
 func TestPerCycleChainingDedicated(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	p := params(2)
 	a, err := x.Run(Config{Eta: 2, Params: p})
 	if err != nil {
@@ -401,7 +401,7 @@ func TestPerCycleChainingDedicated(t *testing.T) {
 // Sequential invocation over k < γ cycles: k copies per message, k times
 // the single-cycle duration.
 func TestRunSequentialReducedReliability(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	p := params(2)
 	for k := 1; k <= 4; k++ {
 		res, err := x.RunSequential(Config{Eta: 2, Params: p}, k)
@@ -425,7 +425,7 @@ func TestRunSequentialReducedReliability(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	if _, err := x.Run(Config{Eta: 0, Params: params(1)}); err == nil {
 		t.Fatal("η=0 accepted")
 	}
@@ -445,7 +445,7 @@ func TestRunValidation(t *testing.T) {
 // Property: for random η >= μ dividing N, dedicated hypercube runs are
 // contention-free and match the model.
 func TestQuickDedicatedInvariant(t *testing.T) {
-	x := mustIHC(t, topology.Hypercube(4))
+	x := mustIHC(t, topology.MustHypercube(4))
 	f := func(etaRaw, muRaw uint8) bool {
 		eta := []int{1, 2, 4, 8, 16}[int(etaRaw)%5]
 		mu := int(muRaw)%eta + 1 // μ <= η
@@ -465,7 +465,7 @@ func TestQuickDedicatedInvariant(t *testing.T) {
 // Property: the number of injected packets is γN regardless of η, and
 // deliveries total γN(N-1).
 func TestQuickPacketAccounting(t *testing.T) {
-	x := mustIHC(t, topology.SquareTorus(4))
+	x := mustIHC(t, topology.MustSquareTorus(4))
 	f := func(etaRaw uint8) bool {
 		eta := []int{1, 2, 4, 8, 16}[int(etaRaw)%5]
 		p := params(1)

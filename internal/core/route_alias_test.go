@@ -14,7 +14,7 @@ import (
 // consecutive positions, so adjacent specs' routes must overlap
 // element-for-element in the same backing array.
 func TestStagePacketsShareRouteBacking(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		t.Fatal(err)

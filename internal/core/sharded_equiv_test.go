@@ -20,9 +20,9 @@ func TestShardedEquivalenceIHC(t *testing.T) {
 		name string
 		g    *topology.Graph
 	}{
-		{"SQ4", topology.SquareTorus(4)},
-		{"Q6", topology.Hypercube(6)},
-		{"T4x4x4", topology.TorusND(4, 4, 4)},
+		{"SQ4", topology.MustSquareTorus(4)},
+		{"Q6", topology.MustHypercube(6)},
+		{"T4x4x4", topology.MustTorusND(4, 4, 4)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,7 +86,7 @@ func TestShardedEquivalenceIHC(t *testing.T) {
 // every route to a fresh copy, which defeats the slice-identity check)
 // must not change anything about the run.
 func TestSharedPathMatchesPerHopCompilation(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		t.Fatal(err)

@@ -153,7 +153,7 @@ func TestRandomNodeFaultsErrorsWhenImpossible(t *testing.T) {
 }
 
 func TestRandomLinkFaults(t *testing.T) {
-	g := topology.Hypercube(3)
+	g := topology.MustHypercube(3)
 	p, err := RandomLinkFaults(g, 4, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -57,7 +57,7 @@ func FuzzTemporalPlan(f *testing.F) {
 	f.Add([]byte{2, 64, 65, 66, 70, 1, 80, 3, 64, 65, 66, 67, 68})
 	f.Add([]byte{1, 255, 0, 0, 1, 255, 255, 0, 0, 0})
 	f.Add([]byte{7, 64, 64, 64, 65, 64, 64, 66, 64, 64, 67, 64, 64})
-	g := topology.SquareTorus(3)
+	g := topology.MustSquareTorus(3)
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		tp := planFromRaw(raw)
 		verr := tp.Validate(g)

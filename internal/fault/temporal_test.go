@@ -9,7 +9,7 @@ import (
 )
 
 func TestPlanValidate(t *testing.T) {
-	g := topology.Hypercube(3)
+	g := topology.MustHypercube(3)
 	ok := NewPlan(1)
 	ok.Nodes[3] = Crash
 	ok.Links[topology.NewEdge(0, 1)] = true
@@ -39,7 +39,7 @@ func TestPlanValidate(t *testing.T) {
 }
 
 func TestTemporalPlanValidate(t *testing.T) {
-	g := topology.Hypercube(3)
+	g := topology.MustHypercube(3)
 	cases := []struct {
 		name string
 		tp   TemporalPlan
@@ -148,7 +148,7 @@ func foldRelay(in *Injector, route []topology.Node, channel int, depart simnet.T
 // TraceRoute's fates exactly — same Byzantine coin, same precedence.
 func TestInjectorMatchesTraceRoute(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	edges := g.Edges()
 	for trial := 0; trial < 300; trial++ {
 		p := NewPlan(rng.Int63())
@@ -183,7 +183,7 @@ func TestInjectorMatchesTraceRoute(t *testing.T) {
 // express: a node that crashes mid-run and a link that is down for a
 // window and then recovers.
 func TestInjectorTemporalWindows(t *testing.T) {
-	g := topology.Hypercube(3)
+	g := topology.MustHypercube(3)
 	tp := &TemporalPlan{
 		Nodes: []NodeFault{{Node: 1, Kind: Crash, At: 1000}},
 		Links: []LinkFault{

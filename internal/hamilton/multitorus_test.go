@@ -42,7 +42,7 @@ func TestProductWithCycleRejectsBadInput(t *testing.T) {
 
 func TestTorusNDStructure(t *testing.T) {
 	for _, dims := range [][]int{{5}, {3, 3}, {4, 4}, {3, 3, 3}, {4, 4, 4}, {3, 3, 3, 3}} {
-		g := topology.TorusND(dims...)
+		g := topology.MustTorusND(dims...)
 		wantN := 1
 		for _, k := range dims {
 			wantN *= k
@@ -61,8 +61,8 @@ func TestTorusNDStructure(t *testing.T) {
 }
 
 func TestTorusNDMatchesSquareTorus(t *testing.T) {
-	a := topology.TorusND(5, 5)
-	b := topology.SquareTorus(5)
+	a := topology.MustTorusND(5, 5)
+	b := topology.MustSquareTorus(5)
 	if a.N() != b.N() || a.M() != b.M() {
 		t.Fatalf("size mismatch")
 	}
@@ -100,7 +100,7 @@ func TestMultiTorusDecomposition(t *testing.T) {
 		if len(cycles) != len(dims) {
 			t.Fatalf("MultiTorus(%v): %d cycles", dims, len(cycles))
 		}
-		g := topology.TorusND(dims...)
+		g := topology.MustTorusND(dims...)
 		if err := VerifyDecomposition(g, cycles, true); err != nil {
 			t.Fatalf("MultiTorus(%v): %v", dims, err)
 		}
@@ -112,7 +112,7 @@ func TestMultiTorusOneDimension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := topology.TorusND(7)
+	g := topology.MustTorusND(7)
 	if err := VerifyDecomposition(g, cycles, true); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestMultiTorusRejectsBadDims(t *testing.T) {
 }
 
 func TestDecomposeDispatchTorusND(t *testing.T) {
-	g := topology.TorusND(3, 3, 3)
+	g := topology.MustTorusND(3, 3, 3)
 	cycles, err := Decompose(g)
 	if err != nil {
 		t.Fatal(err)

@@ -29,7 +29,7 @@ func TestDecompositionProperties(t *testing.T) {
 		m := m
 		cases = append(cases, tc{
 			name:   fmt.Sprintf("Q%d", m),
-			graph:  topology.Hypercube(m),
+			graph:  topology.MustHypercube(m),
 			cycles: func() ([]Cycle, error) { return Hypercube(m) },
 			want:   m / 2,
 			cover:  m%2 == 0,
@@ -40,7 +40,7 @@ func TestDecompositionProperties(t *testing.T) {
 		m := m
 		cases = append(cases, tc{
 			name:   fmt.Sprintf("SQ%d", m),
-			graph:  topology.SquareTorus(m),
+			graph:  topology.MustSquareTorus(m),
 			cycles: func() ([]Cycle, error) { return SquareTorus(m) },
 			want:   2,
 			cover:  true,
@@ -50,8 +50,8 @@ func TestDecompositionProperties(t *testing.T) {
 	for _, dims := range [][]int{{3, 3}, {4, 4}, {3, 3, 3}, {4, 4, 4}} {
 		dims := dims
 		cases = append(cases, tc{
-			name:   topology.TorusND(dims...).Name(),
-			graph:  topology.TorusND(dims...),
+			name:   topology.MustTorusND(dims...).Name(),
+			graph:  topology.MustTorusND(dims...),
 			cycles: func() ([]Cycle, error) { return MultiTorus(dims...) },
 			want:   len(dims),
 			cover:  true,
@@ -63,7 +63,7 @@ func TestDecompositionProperties(t *testing.T) {
 		m := m
 		cases = append(cases, tc{
 			name:   fmt.Sprintf("H%d", m),
-			graph:  topology.HexMesh(m),
+			graph:  topology.MustHexMesh(m),
 			cycles: func() ([]Cycle, error) { return HexMesh(m) },
 			want:   3,
 			cover:  true,

@@ -43,9 +43,9 @@ func runTheorem4(cfg Config) ([]*tablefmt.Table, error) {
 	p.Mu = 1
 	mp := cfg.modelParams()
 	mp.Mu = 1
-	graphs := []*topology.Graph{topology.Hypercube(4), topology.SquareTorus(5), topology.HexMesh(3)}
+	graphs := []*topology.Graph{topology.MustHypercube(4), topology.MustSquareTorus(5), topology.MustHexMesh(3)}
 	if !cfg.Quick {
-		graphs = append(graphs, topology.Hypercube(8), topology.SquareTorus(12), topology.HexMesh(5))
+		graphs = append(graphs, topology.MustHypercube(8), topology.MustSquareTorus(12), topology.MustHexMesh(5))
 	}
 	t := tablefmt.New("Theorem 4 — IHC with η=μ=1 meets the lower bound τ_S+(N-1)α exactly",
 		"Network", "N", "Lower bound", "Measured", "Match")
@@ -80,9 +80,9 @@ func runTheorem4(cfg Config) ([]*tablefmt.Table, error) {
 // (μ-1)α before stage i completes, reverse stage order, still
 // contention-free, saving exactly (η-1)(μ-1)α.
 func runOverlap(cfg Config) ([]*tablefmt.Table, error) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	if !cfg.Quick {
-		g = topology.Hypercube(6)
+		g = topology.MustHypercube(6)
 	}
 	x, err := newIHC(g)
 	if err != nil {
@@ -144,7 +144,7 @@ func runHeadline(cfg Config) ([]*tablefmt.Table, error) {
 	if !cfg.Quick {
 		// Simulate Q10 end-to-end and check the model exactly.
 		p := simnet.Params{TauS: 500_000, Alpha: 20, Mu: 2}
-		x, err := newIHC(topology.Hypercube(10))
+		x, err := newIHC(topology.MustHypercube(10))
 		if err != nil {
 			return nil, err
 		}
@@ -218,10 +218,10 @@ func runCrossover(cfg Config) ([]*tablefmt.Table, error) {
 // vs unsigned voting, crash vs corrupt vs Byzantine, fault counts up to
 // and beyond the Dolev / signed bounds.
 func runReliability(cfg Config) ([]*tablefmt.Table, error) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	trials := int64(10)
 	if !cfg.Quick {
-		g = topology.HexMesh(3)
+		g = topology.MustHexMesh(3)
 		trials = 25
 	}
 	x, err := newIHC(g)
@@ -291,10 +291,10 @@ func runReliability(cfg Config) ([]*tablefmt.Table, error) {
 // and the smallest t where one was found (shrunk to a 1-minimal,
 // engine-confirmed counterexample).
 func adversarialFrontier(cfg Config) (*tablefmt.Table, error) {
-	graphs := []*topology.Graph{topology.SquareTorus(4)}
+	graphs := []*topology.Graph{topology.MustSquareTorus(4)}
 	search := campaign.Search{Budget: 600, Samples: 200, CrossCheck: 251}
 	if !cfg.Quick {
-		graphs = append(graphs, topology.HexMesh(3))
+		graphs = append(graphs, topology.MustHexMesh(3))
 		search = campaign.Search{Budget: 50000, Samples: 4000, CrossCheck: 997}
 	}
 	type series struct {
@@ -363,9 +363,9 @@ func adversarialFrontier(cfg Config) (*tablefmt.Table, error) {
 func runLoad(cfg Config) ([]*tablefmt.Table, error) {
 	p := cfg.params()
 	mp := cfg.modelParams()
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	if !cfg.Quick {
-		g = topology.SquareTorus(8)
+		g = topology.MustSquareTorus(8)
 	}
 	x, err := newIHC(g)
 	if err != nil {
@@ -411,9 +411,9 @@ func runLoad(cfg Config) ([]*tablefmt.Table, error) {
 // broadcast.
 func runUtilization(cfg Config) ([]*tablefmt.Table, error) {
 	p := cfg.params()
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	if !cfg.Quick {
-		g = topology.Hypercube(6)
+		g = topology.MustHypercube(6)
 	}
 	x, err := newIHC(g)
 	if err != nil {
@@ -458,7 +458,7 @@ func runWormhole(cfg Config) ([]*tablefmt.Table, error) {
 	if !cfg.Quick {
 		n = 32
 	}
-	g := topology.Cycle(n)
+	g := topology.MustCycle(n)
 	t := tablefmt.New(
 		fmt.Sprintf("Wormhole deadlock study on a %d-ring (flit-level model)", n),
 		"Scenario", "VCs", "Dateline", "Outcome", "Steps", "Peak blocked")

@@ -27,7 +27,7 @@ func init() {
 // α per node while the tail lags by the full transmission time.
 func runFig1(cfg Config) ([]*tablefmt.Table, error) {
 	p := cfg.params()
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	net, err := simnet.New(g, p)
 	if err != nil {
 		return nil, err
@@ -87,7 +87,7 @@ func runFig3(cfg Config) ([]*tablefmt.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := renderCycles(topology.SquareTorus(4), sq, true)
+	t, err := renderCycles(topology.MustSquareTorus(4), sq, true)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +111,7 @@ func runFig3(cfg Config) ([]*tablefmt.Table, error) {
 		if m%2 != 0 {
 			return row{fmt.Sprintf("Q%d", m), 1 << m, len(cycles), "no (perfect matching left)"}, nil
 		}
-		if err := hamilton.VerifyDecomposition(topology.Hypercube(m), cycles, true); err != nil {
+		if err := hamilton.VerifyDecomposition(topology.MustHypercube(m), cycles, true); err != nil {
 			return nil, err
 		}
 		return row{fmt.Sprintf("Q%d", m), 1 << m, len(cycles), true}, nil
@@ -130,7 +130,7 @@ func runFig3(cfg Config) ([]*tablefmt.Table, error) {
 // three direction Hamiltonian cycles.
 func runFig5(cfg Config) ([]*tablefmt.Table, error) {
 	m := 3
-	g := topology.HexMesh(m)
+	g := topology.MustHexMesh(m)
 	cycles, err := hamilton.HexMesh(m)
 	if err != nil {
 		return nil, err
@@ -148,7 +148,7 @@ func runFig5(cfg Config) ([]*tablefmt.Table, error) {
 // runFig6 regenerates Fig. 6: which nodes initiate packets in which stage
 // along one directed HC for η=3.
 func runFig6(cfg Config) ([]*tablefmt.Table, error) {
-	g := topology.SquareTorus(3) // 9 nodes, divisible by η=3
+	g := topology.MustSquareTorus(3) // 9 nodes, divisible by η=3
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		return nil, err
@@ -177,7 +177,7 @@ func runFig6(cfg Config) ([]*tablefmt.Table, error) {
 // one node finish as fast as one.
 func runFig7(cfg Config) ([]*tablefmt.Table, error) {
 	p := cfg.params()
-	g := topology.Hypercube(3) // node 0 has 3 in-links and 3 out-links
+	g := topology.MustHypercube(3) // node 0 has 3 in-links and 3 out-links
 	net, err := simnet.New(g, p)
 	if err != nil {
 		return nil, err
@@ -218,7 +218,7 @@ func runFig8(cfg Config) ([]*tablefmt.Table, error) {
 		"H_m", "N", "Max chain depth (s&f)", "Paper s&f", "Max hops", "Paper hops (2m-2)")
 	rows, err := sweep(cfg, len(sizes), func(i int, _ *Env) (row, error) {
 		m := sizes[i]
-		b := ks.New(m, 0)
+		b := ks.MustNew(m, 0)
 		depth, hops := chainProfileKS(b)
 		return row{fmt.Sprintf("H%d", m), b.N, depth, 3, hops, 2*m - 2}, nil
 	})
@@ -263,7 +263,7 @@ func runFig9(cfg Config) ([]*tablefmt.Table, error) {
 		"SQ_m", "N", "Max chain depth (s&f)", "Paper s&f", "Max hops", "Paper hops (2m-3)")
 	rows, err := sweep(cfg, len(sizes), func(i int, _ *Env) (row, error) {
 		m := sizes[i]
-		b := vsq.New(m, 0)
+		b := vsq.MustNew(m, 0)
 		maxDepth := 0
 		for _, ch := range b.Chains {
 			d := 1

@@ -58,6 +58,11 @@ type Config struct {
 	// pool to width 1 so the stream is the engine's deterministic
 	// sequential order.
 	Trace simnet.Observer
+	// Cancel, when non-nil, stops the batch between sweep points once
+	// it is closed: in-flight points finish, queued ones return
+	// ErrCanceled. Wire a signal-bound context's Done() channel here
+	// for interruptible command-line runs.
+	Cancel <-chan struct{}
 }
 
 // params returns the effective timing parameters.

@@ -38,9 +38,9 @@ type oraclePoint struct {
 func (pt oraclePoint) free(n int) bool { return pt.eta >= pt.mu && n%pt.eta == 0 }
 
 func oraclePoints(quick bool) []oraclePoint {
-	q := func(m int) func() *topology.Graph { return func() *topology.Graph { return topology.Hypercube(m) } }
-	sq := func(m int) func() *topology.Graph { return func() *topology.Graph { return topology.SquareTorus(m) } }
-	t3 := func(d int) func() *topology.Graph { return func() *topology.Graph { return topology.TorusND(d, d, d) } }
+	q := func(m int) func() *topology.Graph { return func() *topology.Graph { return topology.MustHypercube(m) } }
+	sq := func(m int) func() *topology.Graph { return func() *topology.Graph { return topology.MustSquareTorus(m) } }
+	t3 := func(d int) func() *topology.Graph { return func() *topology.Graph { return topology.MustTorusND(d, d, d) } }
 
 	// Pass points (η >= μ): Theorem 3 regimes across all families.
 	pts := []oraclePoint{

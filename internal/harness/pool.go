@@ -12,6 +12,7 @@ package harness
 // is byte-identical to a sequential run regardless of worker count.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +23,10 @@ import (
 	"ihc/internal/simnet"
 	"ihc/internal/tablefmt"
 )
+
+// ErrCanceled is returned by sweep points that were skipped because
+// the Config's Cancel channel closed before they ran.
+var ErrCanceled = errors.New("harness: run canceled")
 
 // RunStats accumulates observable execution counters across a batch of
 // experiment runs and sweep points. All updates are atomic, so one
@@ -202,6 +207,12 @@ func sweep[T any](cfg Config, n int, fn func(i int, env *Env) (T, error)) ([]T, 
 }
 
 func runPoint[T any](cfg Config, i int, env *Env, fn func(int, *Env) (T, error)) (T, error) {
+	select {
+	case <-cfg.Cancel:
+		var zero T
+		return zero, ErrCanceled
+	default:
+	}
 	start := time.Now()
 	v, err := fn(i, env)
 	if cfg.Stats != nil {
@@ -245,6 +256,12 @@ func RunExperiments(exps []Experiment, cfg Config) []Report {
 	}
 	runOne := func(i int) {
 		e := exps[i]
+		select {
+		case <-cfg.Cancel:
+			reports[i] = Report{Experiment: e, Err: ErrCanceled}
+			return
+		default:
+		}
 		start := time.Now()
 		tables, err := e.Run(cfg)
 		reports[i] = Report{Experiment: e, Tables: tables, Err: err, Wall: time.Since(start)}

@@ -19,10 +19,10 @@ func init() {
 // Hamiltonian-cycle route patching must push the measured frontier
 // strictly past γ, at a latency overhead the table reports.
 func runRecovery(cfg Config) ([]*tablefmt.Table, error) {
-	graphs := []*topology.Graph{topology.SquareTorus(4), topology.Hypercube(4)}
+	graphs := []*topology.Graph{topology.MustSquareTorus(4), topology.MustHypercube(4)}
 	search := campaign.Search{Budget: 30, Samples: 15}
 	if !cfg.Quick {
-		graphs = append(graphs, topology.Hypercube(6))
+		graphs = append(graphs, topology.MustHypercube(6))
 		search = campaign.Search{Budget: 60, Samples: 40}
 	}
 

@@ -43,13 +43,13 @@ func runScaling(cfg Config) ([]*tablefmt.Table, error) {
 	// Q14 (16384 nodes, one of its 14 directed cycles ≈ 2.7×10⁸ events)
 	// and the complete 32×32 torus ATA.
 	points := []scalingPoint{
-		{graph: func() *topology.Graph { return topology.Hypercube(8) }, cycles: []int{0}},
-		{graph: func() *topology.Graph { return topology.SquareTorus(16) }},
+		{graph: func() *topology.Graph { return topology.MustHypercube(8) }, cycles: []int{0}},
+		{graph: func() *topology.Graph { return topology.MustSquareTorus(16) }},
 	}
 	if !cfg.Quick {
 		points = []scalingPoint{
-			{graph: func() *topology.Graph { return topology.Hypercube(14) }, cycles: []int{0}},
-			{graph: func() *topology.Graph { return topology.SquareTorus(32) }},
+			{graph: func() *topology.Graph { return topology.MustHypercube(14) }, cycles: []int{0}},
+			{graph: func() *topology.Graph { return topology.MustSquareTorus(32) }},
 		}
 	}
 

@@ -27,7 +27,7 @@ func init() {
 // the RS reliable broadcast from node 0 in Q4, grouped into the
 // cut-through columns of the VRS conversion.
 func runTable1(cfg Config) ([]*tablefmt.Table, error) {
-	b := rs.New(4, 0, true)
+	b := rs.MustNew(4, 0, true)
 	steps := b.StepOps()
 	t := tablefmt.New("Table I — RS broadcast from node 0 in Q4 (send ops per step; *=optional return)",
 		"Step", "Operations")
@@ -110,7 +110,7 @@ func runTable2(cfg Config) ([]*tablefmt.Table, error) {
 	var points []func(env *Env) (row, error)
 	// IHC on all three families.
 	for _, g := range []*topology.Graph{
-		topology.Hypercube(qDim), topology.SquareTorus(sqM), topology.HexMesh(hM),
+		topology.MustHypercube(qDim), topology.MustSquareTorus(sqM), topology.MustHexMesh(hM),
 	} {
 		g := g
 		points = append(points, func(env *Env) (row, error) {
@@ -192,7 +192,7 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 
 	points := []func(env *Env) (simnet.Time, error){
 		func(env *Env) (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.Hypercube(qDim), p, 2, env)
+			f, _, err := ihcMeasured(cfg, topology.MustHypercube(qDim), p, 2, env)
 			return f, err
 		},
 		func(env *Env) (simnet.Time, error) {
@@ -212,7 +212,7 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 			return fres.Finish, nil
 		},
 		func(env *Env) (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.SquareTorus(sqM), p, 2, env)
+			f, _, err := ihcMeasured(cfg, topology.MustSquareTorus(sqM), p, 2, env)
 			return f, err
 		},
 		func(env *Env) (simnet.Time, error) {
@@ -224,7 +224,7 @@ func runTable3(cfg Config) ([]*tablefmt.Table, error) {
 			return sres.Finish, nil
 		},
 		func(env *Env) (simnet.Time, error) {
-			f, _, err := ihcMeasured(cfg, topology.HexMesh(hM), p, 2, env)
+			f, _, err := ihcMeasured(cfg, topology.MustHexMesh(hM), p, 2, env)
 			return f, err
 		},
 		func(env *Env) (simnet.Time, error) {
@@ -277,11 +277,11 @@ func runTable4(cfg Config) ([]*tablefmt.Table, error) {
 
 	points := []func(env *Env) (row, error){
 		func(env *Env) (row, error) {
-			cycles, err := hamilton.Decompose(topology.Hypercube(qDim))
+			cycles, err := hamilton.Decompose(topology.MustHypercube(qDim))
 			if err != nil {
 				return nil, err
 			}
-			x, err := core.New(topology.Hypercube(qDim), cycles)
+			x, err := core.New(topology.MustHypercube(qDim), cycles)
 			if err != nil {
 				return nil, err
 			}

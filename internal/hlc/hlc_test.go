@@ -1,0 +1,109 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+)
+
+// manual is a settable physical clock.
+type manual struct {
+	mu sync.Mutex
+	t  int64
+}
+
+func (m *manual) now() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+func (m *manual) set(t int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = t
+}
+
+func TestNowMonotonic(t *testing.T) {
+	phys := &manual{t: 100}
+	c := NewAt(phys.now)
+	prev := c.Now()
+	if prev.Wall != 100 || prev.Logical != 0 {
+		t.Fatalf("first reading = %v, want 100.0", prev)
+	}
+	// Physical clock frozen: logical component must carry monotonicity.
+	for i := 0; i < 10; i++ {
+		ts := c.Now()
+		if !prev.Before(ts) {
+			t.Fatalf("Now() not strictly increasing: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+	// Physical clock jumps forward: wall component takes over again.
+	phys.set(200)
+	ts := c.Now()
+	if ts.Wall != 200 || ts.Logical != 0 {
+		t.Fatalf("after physical advance got %v, want 200.0", ts)
+	}
+}
+
+func TestUpdateDominatesRemote(t *testing.T) {
+	phys := &manual{t: 100}
+	c := NewAt(phys.now)
+
+	// Remote far ahead of local physical time: the merge must land after
+	// the remote timestamp (causality), not at local physical time.
+	got := c.Update(Timestamp{Wall: 500, Logical: 7})
+	if !(Timestamp{Wall: 500, Logical: 7}).Before(got) {
+		t.Fatalf("Update result %v not after remote 500.7", got)
+	}
+	if got.Wall != 500 || got.Logical != 8 {
+		t.Fatalf("Update = %v, want 500.8", got)
+	}
+
+	// Remote behind: local just ticks.
+	prev := got
+	got = c.Update(Timestamp{Wall: 10, Logical: 3})
+	if !prev.Before(got) {
+		t.Fatalf("Update went backwards: %v then %v", prev, got)
+	}
+
+	// Physical clock overtakes everything: wall resets, logical clears.
+	phys.set(1000)
+	got = c.Update(Timestamp{Wall: 600})
+	if got.Wall != 1000 || got.Logical != 0 {
+		t.Fatalf("Update after physical overtake = %v, want 1000.0", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Timestamp{Wall: 1, Logical: 2}
+	b := Timestamp{Wall: 1, Logical: 3}
+	cc := Timestamp{Wall: 2, Logical: 0}
+	if a.Compare(a) != 0 || a.Compare(b) != -1 || b.Compare(a) != 1 || b.Compare(cc) != -1 {
+		t.Fatal("Compare ordering wrong")
+	}
+}
+
+func TestConcurrentMonotonic(t *testing.T) {
+	phys := &manual{t: 1}
+	c := NewAt(phys.now)
+	var wg sync.WaitGroup
+	out := make([][]Timestamp, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				out[g] = append(out[g], c.Now())
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, seq := range out {
+		for i := 1; i < len(seq); i++ {
+			if !seq[i-1].Before(seq[i]) {
+				t.Fatalf("goroutine %d: non-increasing %v then %v", g, seq[i-1], seq[i])
+			}
+		}
+	}
+}

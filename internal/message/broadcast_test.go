@@ -34,7 +34,7 @@ func params() simnet.Params {
 // than one packet; every node reconstructs all N messages exactly; the
 // total time is rounds x the Table II per-invocation time.
 func TestBroadcastMultiRound(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	n := g.N()
 	const bFIFO = 16 // packet = μ·B_FIFO = 32 bytes; 20 payload bytes unsigned
@@ -75,7 +75,7 @@ func TestBroadcastMultiRound(t *testing.T) {
 // Mixed message lengths: short senders pad by re-sending their last
 // fragment; reconstruction still exact.
 func TestBroadcastMixedLengths(t *testing.T) {
-	g := topology.Hypercube(3)
+	g := topology.MustHypercube(3)
 	x := mustIHC(t, g)
 	msgs := [][]byte{
 		[]byte("a"),
@@ -106,7 +106,7 @@ func TestBroadcastMixedLengths(t *testing.T) {
 // Signed operation: MACs ride in the packets, capacity shrinks, nothing
 // is rejected in a fault-free network, and reconstruction is exact.
 func TestBroadcastSigned(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	n := g.N()
 	kr := reliable.NewKeyring(n, 99)
@@ -131,7 +131,7 @@ func TestBroadcastSigned(t *testing.T) {
 }
 
 func TestBroadcastValidation(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	if _, err := Broadcast(x, make([][]byte, 3), params(), 2, 16, nil); err == nil {
 		t.Fatal("wrong message count accepted")

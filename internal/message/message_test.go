@@ -104,7 +104,7 @@ func TestPayloadCapacity(t *testing.T) {
 // The two stop rules of Section IV agree on every position of every
 // directed cycle.
 func TestStopRulesEquivalent(t *testing.T) {
-	cycles, err := hamilton.Decompose(topology.SquareTorus(4))
+	cycles, err := hamilton.Decompose(topology.MustSquareTorus(4))
 	if err != nil {
 		t.Fatal(err)
 	}

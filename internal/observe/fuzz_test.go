@@ -24,7 +24,7 @@ var fuzzStream struct {
 func loadFuzzStream(t testing.TB) ([]recEvent, []byte) {
 	t.Helper()
 	fuzzStream.once.Do(func() {
-		g := topology.SquareTorus(4)
+		g := topology.MustSquareTorus(4)
 		cycles, err := hamilton.Decompose(g)
 		if err != nil {
 			fuzzStream.err = err

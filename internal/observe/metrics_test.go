@@ -15,7 +15,7 @@ import (
 // cut-through everywhere), and cover all 64 directed links evenly —
 // each with N-1 = 15 transits of μα = 40 ticks.
 func TestMetricsContentionFreeRun(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := newIHC(t, g)
 	m := NewMetrics()
 	res, err := x.Run(core.Config{Eta: 2, Params: testParams, SkipCopies: true, Observe: m})
@@ -87,7 +87,7 @@ func TestMetricsContentionFreeRun(t *testing.T) {
 // η < μ: buffering shows up as FIFO pressure (μ flits resident) and as
 // a wider busy-interval spread, without losing any hop accounting.
 func TestMetricsSeesContention(t *testing.T) {
-	x := newIHC(t, topology.SquareTorus(4))
+	x := newIHC(t, topology.MustSquareTorus(4))
 	m := NewMetrics()
 	res, err := x.Run(core.Config{Eta: 1, Params: testParams, SkipCopies: true, Observe: m})
 	if err != nil {

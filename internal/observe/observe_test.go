@@ -65,7 +65,7 @@ func (r *recorder) replay(o simnet.Observer) {
 // record runs an SQ4 IHC broadcast once and returns the full stream.
 func record(t testing.TB, eta int, p simnet.Params) (*core.IHC, *recorder) {
 	t.Helper()
-	x := newIHC(t, topology.SquareTorus(4))
+	x := newIHC(t, topology.MustSquareTorus(4))
 	rec := &recorder{}
 	if _, err := x.Run(core.Config{Eta: eta, Params: p, SkipCopies: true, Observe: rec}); err != nil {
 		t.Fatal(err)

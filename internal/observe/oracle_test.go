@@ -31,7 +31,7 @@ func runWithOracle(t *testing.T, x *core.IHC, cfg core.Config, ocfg OracleConfig
 // η = μ on SQ4: every live check must pass — zero contention, exact
 // Table II finish, γ edge-disjoint copies everywhere, occupancy 1.
 func TestOracleContentionFreePass(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := newIHC(t, g)
 	o, res := runWithOracle(t,
 		x, core.Config{Eta: 2, Params: testParams, SkipCopies: true},
@@ -63,7 +63,7 @@ func TestOracleContentionFreePass(t *testing.T) {
 func TestOracleTheorem4ExactFinish(t *testing.T) {
 	p := simnet.Params{TauS: 100, Alpha: 20, Mu: 1, D: 37}
 	for _, m := range []int{4, 5} {
-		g := topology.Hypercube(m)
+		g := topology.MustHypercube(m)
 		x := newIHC(t, g)
 		o, _ := runWithOracle(t,
 			x, core.Config{Eta: 1, Params: p, SkipCopies: true},
@@ -83,7 +83,7 @@ func TestOracleTheorem4ExactFinish(t *testing.T) {
 // contention (the checker's teeth), while every structural invariant
 // — routes, copies, exclusivity — still holds.
 func TestOracleDetectsContention(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := newIHC(t, g)
 	o, res := runWithOracle(t,
 		x, core.Config{Eta: 1, Params: testParams, SkipCopies: true},
@@ -118,7 +118,7 @@ func TestOracleDetectsContention(t *testing.T) {
 // Light mode keeps the checks that matter at Q8+ scale: route
 // conformance, exclusivity, contention counting, exact finish.
 func TestOracleLightMode(t *testing.T) {
-	g := topology.Hypercube(5)
+	g := topology.MustHypercube(5)
 	x := newIHC(t, g)
 	o, _ := runWithOracle(t,
 		x, core.Config{Eta: 2, Params: testParams, SkipCopies: true},
@@ -138,7 +138,7 @@ func TestOracleLightMode(t *testing.T) {
 // Synthetic streams: each invariant violation must be detected and
 // attributed to the right counter.
 func TestOracleSyntheticViolations(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := newIHC(t, g)
 	cyc := x.DirectedCycle(0)
 	alpha := testParams.Alpha
@@ -256,7 +256,7 @@ func TestOracleSyntheticViolations(t *testing.T) {
 }
 
 func TestOracleConfigValidation(t *testing.T) {
-	x := newIHC(t, topology.SquareTorus(4))
+	x := newIHC(t, topology.MustSquareTorus(4))
 	bad := []OracleConfig{
 		{},                              // no instance
 		{X: x, Eta: 0},                  // η out of range

@@ -176,7 +176,7 @@ func TestPayloadHelpers(t *testing.T) {
 }
 
 func TestEvaluateFaultFree(t *testing.T) {
-	for _, g := range []*topology.Graph{topology.Hypercube(4), topology.HexMesh(3)} {
+	for _, g := range []*topology.Graph{topology.MustHypercube(4), topology.MustHexMesh(3)} {
 		x := mustIHC(t, g)
 		for _, signed := range []bool{false, true} {
 			out := mustEval(t, x, fault.NewPlan(1), signed, NewKeyring(g.N(), 1))
@@ -192,7 +192,7 @@ func TestEvaluateFaultFree(t *testing.T) {
 // it blocks at most one of the two directions of each undirected HC,
 // leaving γ/2 clean paths.
 func TestSingleFaultAlwaysTolerated(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 3)
 	for v := topology.Node(0); int(v) < g.N(); v++ {
@@ -216,7 +216,7 @@ func TestSingleFaultAlwaysTolerated(t *testing.T) {
 // somewhere, while signed evaluation still only loses pairs whose every
 // path is cut.
 func TestSignedBeatsUnsignedUnderCorruption(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 3)
 	worstUnsigned, worstSigned := 1.0, 1.0
@@ -249,7 +249,7 @@ func TestSignedBeatsUnsignedUnderCorruption(t *testing.T) {
 // Crash faults: a pair fails exactly when the faulty set cuts all γ
 // directed-cycle paths — cross-check EvaluateIHC against BlockablePair.
 func TestCrashFailureMatchesStructure(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 5)
 	for seed := int64(0); seed < 10; seed++ {
@@ -280,7 +280,7 @@ func TestCrashFailureMatchesStructure(t *testing.T) {
 // exercised implicitly: with a Byzantine source the fault-free pairs
 // still grade perfectly.
 func TestByzantineSourceDoesNotPolluteOthers(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 9)
 	plan := fault.NewPlan(1)
@@ -296,7 +296,7 @@ func TestByzantineSourceDoesNotPolluteOthers(t *testing.T) {
 // most 2 of the γ directed-cycle paths, both from the same undirected
 // HC), so with γ=4, one broken link is always tolerated.
 func TestSingleLinkFaultTolerated(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 5)
 	for _, e := range g.Edges() {
@@ -316,7 +316,7 @@ func TestSingleLinkFaultTolerated(t *testing.T) {
 // under the larger fault set is also fault-free and deliverable under
 // the smaller one.)
 func TestQuickNestedCrashMonotone(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	x := mustIHC(t, g)
 	kr := NewKeyring(g.N(), 5)
 	f := func(seedRaw uint8) bool {

@@ -13,7 +13,7 @@ import (
 // the repair layer is silent, and the overhead is exactly zero (the
 // fault-free repair-on run is byte-identical to the baseline).
 func TestRepairedFaultFree(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	out, err := EvaluateRepaired(x, &fault.TemporalPlan{}, false, nil, core.Config{Eta: 2}, repair.Config{})
 	if err != nil {
@@ -35,7 +35,7 @@ func TestRepairedFaultFree(t *testing.T) {
 // under EvaluateTimed but EvaluateRepaired restores a perfect grade,
 // and the recovery's latency cost is visible in OverheadPct.
 func TestRepairedRecoversBrokenLink(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	x := mustIHC(t, g)
 	e := g.Edges()[0]
 	tp := &fault.TemporalPlan{
@@ -58,7 +58,7 @@ func TestRepairedRecoversBrokenLink(t *testing.T) {
 
 // TestRepairedRejectsBadPlan: plan errors surface as errors.
 func TestRepairedRejectsBadPlan(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	tp := &fault.TemporalPlan{Nodes: []fault.NodeFault{{Node: 999, Kind: fault.Crash}}}
 	if _, err := EvaluateRepaired(x, tp, false, nil, core.Config{}, repair.Config{}); err == nil {

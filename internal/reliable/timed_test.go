@@ -16,7 +16,7 @@ import (
 // fate propagation — same pairs, same correct/wrong/missing counts.
 func TestTimedMatchesCombinatorial(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
-	for _, g := range []*topology.Graph{topology.SquareTorus(4), topology.HexMesh(3)} {
+	for _, g := range []*topology.Graph{topology.MustSquareTorus(4), topology.MustHexMesh(3)} {
 		x := mustIHC(t, g)
 		kr := NewKeyring(g.N(), 2)
 		edges := g.Edges()
@@ -49,7 +49,7 @@ func TestTimedMatchesCombinatorial(t *testing.T) {
 // TestTimedFaultFree sanity-checks the fault-free timed path on a
 // non-trivial config (overlapped stages).
 func TestTimedFaultFree(t *testing.T) {
-	g := topology.Hypercube(4)
+	g := topology.MustHypercube(4)
 	x := mustIHC(t, g)
 	out, err := EvaluateTimed(x, &fault.TemporalPlan{}, false, nil, core.Config{Overlap: true})
 	if err != nil {
@@ -71,7 +71,7 @@ func TestTimedFaultFree(t *testing.T) {
 // still lost; stage-1 packets get through), and a window past the run's
 // finish is harmless.
 func TestTimedTemporalWindow(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	const victim = topology.Node(5)
 
@@ -129,7 +129,7 @@ func TestTimedTemporalWindow(t *testing.T) {
 // crash-from-birth but saves it when the crash activates after stage 0 —
 // the grade of the late crash is strictly better.
 func TestTimedCrashMidRun(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	x := mustIHC(t, g)
 	n := g.N()
 

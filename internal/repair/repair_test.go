@@ -25,9 +25,9 @@ func newIHC(t testing.TB, g *topology.Graph) *core.IHC {
 
 func testTopologies(t testing.TB) map[string]*core.IHC {
 	return map[string]*core.IHC{
-		"sq4": newIHC(t, topology.SquareTorus(4)),
-		"q4":  newIHC(t, topology.Hypercube(4)),
-		"q6":  newIHC(t, topology.Hypercube(6)),
+		"sq4": newIHC(t, topology.MustSquareTorus(4)),
+		"q4":  newIHC(t, topology.MustHypercube(4)),
+		"q6":  newIHC(t, topology.MustHypercube(6)),
 	}
 }
 
@@ -201,7 +201,7 @@ func TestBeyondStaticBound(t *testing.T) {
 // dead links and never reuse a directed arc (the engine would reject
 // the whole stage otherwise).
 func TestPatchedRouteValidity(t *testing.T) {
-	x := newIHC(t, topology.SquareTorus(4))
+	x := newIHC(t, topology.MustSquareTorus(4))
 	m := NewManager(x, simnet.Params{}.Defaulted(), Config{})
 	g := x.Graph()
 	// Diagnose three links dead by brute suspicion.
@@ -249,7 +249,7 @@ func TestPatchedRouteValidity(t *testing.T) {
 // TestNakRouteSurvives: the NAK return path must avoid diagnosed-dead
 // links and reach the source.
 func TestNakRouteSurvives(t *testing.T) {
-	x := newIHC(t, topology.SquareTorus(4))
+	x := newIHC(t, topology.MustSquareTorus(4))
 	m := NewManager(x, simnet.Params{}.Defaulted(), Config{})
 	g := x.Graph()
 	for _, e := range g.Edges()[:2] {

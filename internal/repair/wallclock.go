@@ -1,0 +1,188 @@
+package repair
+
+import (
+	"time"
+
+	"ihc/internal/topology"
+)
+
+// This file is the wall-clock counterpart of the simulated-time Manager
+// above: the same closed-form-deadline → NAK → bounded-backoff-retry
+// design, recast as a pure state machine a real-transport node drives
+// off actual timers. It owns no clocks and no sockets — the caller
+// feeds it the current time and carries out the pulls it emits — so the
+// retry policy is unit-testable with a manual clock and shared between
+// the in-process loopback cluster and the multi-process TCP daemon.
+//
+// The protocol it plans is pull-based anti-entropy rather than the
+// Manager's source-side retransmission: on a real mesh the failed
+// element is unknown (crashed process? cut link? slow host?), so the
+// node that misses a deadline asks its own graph neighbors for the copy
+// — the cycle-j predecessor first (the node that would have relayed it
+// to us), then the remaining neighbors in rotation — backing off with
+// jitter between rounds and skipping peers whose circuit breakers are
+// open. Every node stores each copy it accepts (and its own at
+// injection), so any neighbor that already holds the copy can serve it;
+// while the surviving subgraph stays connected, rotation finds a holder
+// and the pull converges.
+
+// Want names one expected broadcast copy: source s's message on
+// directed Hamiltonian cycle j.
+type Want struct {
+	Source  topology.Node
+	Channel uint8
+}
+
+// Pull is one planned repair action: send a NAK for Want to Provider.
+type Pull struct {
+	Want
+	Provider topology.Node
+	Attempt  int // 1-based attempt number this pull represents
+}
+
+// PullConfig shapes the planner.
+type PullConfig struct {
+	// MaxAttempts bounds the NAKs sent per missing copy; afterwards
+	// the want is reported by Exhausted instead of retried forever.
+	// Default 12.
+	MaxAttempts int
+	// Delay returns the wait before attempt k+1 (k = attempts made so
+	// far, so Delay(1) follows the first NAK). Callers pass a jittered
+	// exponential backoff; required.
+	Delay func(attempt int) time.Duration
+}
+
+type pullState struct {
+	w         Want
+	providers []topology.Node
+	idx       int // rotation position
+	attempts  int
+	nextAt    time.Time
+	satisfied bool
+}
+
+// Planner tracks every copy a node still expects and decides, given the
+// current time, which NAKs to send to whom. Not safe for concurrent
+// use; the node's event loop owns it.
+type Planner struct {
+	cfg     PullConfig
+	wants   map[Want]*pullState
+	order   []*pullState // insertion order, for deterministic emission
+	pending int
+}
+
+// NewPlanner returns an empty planner.
+func NewPlanner(cfg PullConfig) *Planner {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 12
+	}
+	if cfg.Delay == nil {
+		panic("repair: PullConfig.Delay is required")
+	}
+	return &Planner{cfg: cfg, wants: make(map[Want]*pullState)}
+}
+
+// Expect registers a copy the node is owed. deadline is when the
+// schedule's closed form (stage start + hops·per-hop latency + slack)
+// says it should have arrived; the first pull fires then. providers is
+// the rotation order, normally the cycle predecessor followed by the
+// node's remaining graph neighbors.
+func (p *Planner) Expect(w Want, deadline time.Time, providers []topology.Node) {
+	if _, dup := p.wants[w]; dup {
+		return
+	}
+	st := &pullState{w: w, providers: providers, nextAt: deadline}
+	p.wants[w] = st
+	p.order = append(p.order, st)
+	p.pending++
+}
+
+// Got marks a copy received. Reports whether it was still pending (the
+// first copy; duplicates return false).
+func (p *Planner) Got(w Want) bool {
+	st, ok := p.wants[w]
+	if !ok || st.satisfied {
+		return false
+	}
+	st.satisfied = true
+	p.pending--
+	return true
+}
+
+// Miss records a provider answering "I don't hold that copy either":
+// rotation has already advanced past it, so the only adjustment is to
+// retry sooner than the full deadline-miss backoff would.
+func (p *Planner) Miss(w Want, now time.Time) {
+	st, ok := p.wants[w]
+	if !ok || st.satisfied || st.attempts >= p.cfg.MaxAttempts {
+		return
+	}
+	next := now.Add(p.cfg.Delay(st.attempts) / 2)
+	if next.Before(st.nextAt) {
+		st.nextAt = next
+	}
+}
+
+// Due returns the pulls whose time has come, advancing each want's
+// rotation, attempt count, and next-retry time. peerDown (optional)
+// lets the rotation skip providers whose circuit breakers are open; if
+// every provider is down the want just waits out its backoff.
+func (p *Planner) Due(now time.Time, peerDown func(topology.Node) bool) []Pull {
+	var out []Pull
+	for _, st := range p.order {
+		if st.satisfied || st.attempts >= p.cfg.MaxAttempts || now.Before(st.nextAt) {
+			continue
+		}
+		provider, ok := p.pickProvider(st, peerDown)
+		st.attempts++
+		st.nextAt = now.Add(p.cfg.Delay(st.attempts))
+		if !ok {
+			continue // all providers down; burn the attempt slot and wait
+		}
+		out = append(out, Pull{Want: st.w, Provider: provider, Attempt: st.attempts})
+	}
+	return out
+}
+
+func (p *Planner) pickProvider(st *pullState, peerDown func(topology.Node) bool) (topology.Node, bool) {
+	for i := 0; i < len(st.providers); i++ {
+		cand := st.providers[st.idx%len(st.providers)]
+		st.idx++
+		if peerDown == nil || !peerDown(cand) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// NextWake returns the earliest time any unsatisfied, unexhausted want
+// becomes due. ok is false when nothing is left to do.
+func (p *Planner) NextWake() (at time.Time, ok bool) {
+	for _, st := range p.order {
+		if st.satisfied || st.attempts >= p.cfg.MaxAttempts {
+			continue
+		}
+		if !ok || st.nextAt.Before(at) {
+			at, ok = st.nextAt, true
+		}
+	}
+	return at, ok
+}
+
+// Pending returns how many expected copies are still missing.
+func (p *Planner) Pending() int { return p.pending }
+
+// Done reports whether every expected copy has arrived.
+func (p *Planner) Done() bool { return p.pending == 0 }
+
+// Exhausted lists wants that burned MaxAttempts without a copy
+// arriving — the node's final verdict will fail on these.
+func (p *Planner) Exhausted() []Want {
+	var out []Want
+	for _, st := range p.order {
+		if !st.satisfied && st.attempts >= p.cfg.MaxAttempts {
+			out = append(out, st.w)
+		}
+	}
+	return out
+}

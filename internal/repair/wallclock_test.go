@@ -1,0 +1,109 @@
+package repair
+
+import (
+	"testing"
+	"time"
+
+	"ihc/internal/topology"
+)
+
+func fixedDelay(d time.Duration) func(int) time.Duration {
+	return func(int) time.Duration { return d }
+}
+
+func TestPlannerPullLifecycle(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	p := NewPlanner(PullConfig{MaxAttempts: 3, Delay: fixedDelay(time.Second)})
+	w := Want{Source: 5, Channel: 1}
+	p.Expect(w, t0, []topology.Node{4, 6, 7})
+	p.Expect(w, t0.Add(time.Hour), nil) // duplicate: ignored
+
+	if p.Pending() != 1 || p.Done() {
+		t.Fatalf("pending=%d done=%v after Expect", p.Pending(), p.Done())
+	}
+	// Not due before the deadline.
+	if pulls := p.Due(t0.Add(-time.Millisecond), nil); len(pulls) != 0 {
+		t.Fatalf("pulls before deadline: %v", pulls)
+	}
+	if at, ok := p.NextWake(); !ok || !at.Equal(t0) {
+		t.Fatalf("NextWake = %v %v, want %v", at, ok, t0)
+	}
+	// First pull goes to the cycle predecessor, then the next-retry
+	// time moves out by the backoff delay.
+	pulls := p.Due(t0, nil)
+	if len(pulls) != 1 || pulls[0].Provider != 4 || pulls[0].Attempt != 1 || pulls[0].Want != w {
+		t.Fatalf("first pulls = %+v", pulls)
+	}
+	if pulls := p.Due(t0.Add(time.Second/2), nil); len(pulls) != 0 {
+		t.Fatalf("pull fired before backoff elapsed: %v", pulls)
+	}
+	// A MISS reply halves the wait; rotation then advances to the next
+	// provider.
+	p.Miss(w, t0.Add(100*time.Millisecond))
+	pulls = p.Due(t0.Add(600*time.Millisecond), nil)
+	if len(pulls) != 1 || pulls[0].Provider != 6 || pulls[0].Attempt != 2 {
+		t.Fatalf("post-MISS pulls = %+v", pulls)
+	}
+	// The copy arrives: satisfied, no further pulls, duplicate Got is
+	// reported as such.
+	if !p.Got(w) {
+		t.Fatal("Got returned false for a pending want")
+	}
+	if p.Got(w) {
+		t.Fatal("duplicate Got returned true")
+	}
+	if !p.Done() || p.Pending() != 0 {
+		t.Fatalf("pending=%d done=%v after Got", p.Pending(), p.Done())
+	}
+	if pulls := p.Due(t0.Add(time.Hour), nil); len(pulls) != 0 {
+		t.Fatalf("satisfied want still pulled: %v", pulls)
+	}
+	if _, ok := p.NextWake(); ok {
+		t.Fatal("NextWake still scheduled after completion")
+	}
+}
+
+func TestPlannerSkipsDownPeersAndExhausts(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	p := NewPlanner(PullConfig{MaxAttempts: 3, Delay: fixedDelay(time.Second)})
+	w := Want{Source: 2, Channel: 0}
+	p.Expect(w, t0, []topology.Node{1, 3})
+
+	// Provider 1's breaker is open: rotation lands on 3.
+	down1 := func(v topology.Node) bool { return v == 1 }
+	pulls := p.Due(t0, down1)
+	if len(pulls) != 1 || pulls[0].Provider != 3 {
+		t.Fatalf("pulls with 1 down = %+v", pulls)
+	}
+	// Everyone down: the attempt slot burns with no pull emitted.
+	pulls = p.Due(t0.Add(time.Second), func(topology.Node) bool { return true })
+	if len(pulls) != 0 {
+		t.Fatalf("pulls with all peers down = %+v", pulls)
+	}
+	// Third (final) attempt fires, then the want is exhausted: no more
+	// pulls, no wake, reported by Exhausted.
+	pulls = p.Due(t0.Add(2*time.Second), nil)
+	if len(pulls) != 1 || pulls[0].Attempt != 3 {
+		t.Fatalf("final-attempt pulls = %+v", pulls)
+	}
+	if pulls := p.Due(t0.Add(time.Hour), nil); len(pulls) != 0 {
+		t.Fatalf("exhausted want still pulled: %v", pulls)
+	}
+	if _, ok := p.NextWake(); ok {
+		t.Fatal("NextWake scheduled for an exhausted want")
+	}
+	ex := p.Exhausted()
+	if len(ex) != 1 || ex[0] != w {
+		t.Fatalf("Exhausted = %v, want [%v]", ex, w)
+	}
+	if p.Done() {
+		t.Fatal("exhausted want counted as done")
+	}
+	// A late copy still satisfies it.
+	if !p.Got(w) {
+		t.Fatal("late Got refused")
+	}
+	if len(p.Exhausted()) != 0 || !p.Done() {
+		t.Fatal("late copy did not clear the exhausted state")
+	}
+}

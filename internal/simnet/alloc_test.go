@@ -10,7 +10,7 @@ import (
 // pipelineSpecs builds the ring-pipeline workload used by the allocation
 // tests: n/2 packets, each routed n-1 hops around an n-cycle.
 func pipelineSpecs(n int) (*topology.Graph, []PacketSpec) {
-	g := topology.Cycle(n)
+	g := topology.MustCycle(n)
 	ring := make([]topology.Node, 2*n)
 	for i := range ring {
 		ring[i] = topology.Node(i % n)

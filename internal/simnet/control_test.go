@@ -236,7 +236,7 @@ func (b *badInjector) OnTimer(at Time, token int64) {
 // TestControllerNoOpIdentical: attaching a controller that only watches
 // (no injections) leaves the delivery stream byte-identical.
 func TestControllerNoOpIdentical(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37, Rho: 0.3, Seed: 42}
 	specs := func(net *Network) []PacketSpec {
 		var out []PacketSpec

@@ -17,7 +17,7 @@ func (f hookFunc) Relay(id PacketID, hop int, from, to topology.Node, depart Tim
 // and returns the result.
 func teeRun(t *testing.T, hook FaultHook) *Result {
 	t.Helper()
-	g := topology.Cycle(6)
+	g := topology.MustCycle(6)
 	net, err := New(g, Params{TauS: 100, Alpha: 20, Mu: 2, D: 37})
 	if err != nil {
 		t.Fatal(err)

@@ -104,6 +104,33 @@ func (l *CopyLedger) Reset() {
 	clear(l.fpSum)
 }
 
+// VerifyReceiver checks the postcondition for a single receiver: node
+// recv received exactly want copies of every other node's message and
+// none of its own. This is the per-node verdict a live daemon renders
+// over its own row — each cluster member keeps a full-size ledger but
+// only ever adds to its own row, so the whole-network VerifyATA would
+// wrongly flag the other (empty) rows.
+func (l *CopyLedger) VerifyReceiver(recv topology.Node, want int) error {
+	if int(recv) < 0 || int(recv) >= l.n {
+		return fmt.Errorf("simnet: receiver %d outside [0,%d)", recv, l.n)
+	}
+	r := int(recv)
+	if l.self[r] != 0 {
+		return fmt.Errorf("simnet: node %d received %d copies of its own message", r, l.self[r])
+	}
+	wantCount := int64(want) * int64(l.n-1)
+	if l.count[r] != wantCount {
+		return fmt.Errorf("simnet: node %d received %d copies in total, want %d (%d from each of %d sources)",
+			r, l.count[r], wantCount, want, l.n-1)
+	}
+	wantSum := uint64(want) * (l.allFp - ledgerMix(recv))
+	if l.fpSum[r] != wantSum {
+		return fmt.Errorf("simnet: node %d's copy checksum %#x differs from the uniform %d-per-source expectation %#x: some source is over-represented and another under-represented",
+			r, l.fpSum[r], want, wantSum)
+	}
+	return nil
+}
+
 // VerifyATA checks the all-to-all postcondition against the ledger:
 // every node received exactly want copies of every other node's message
 // and none of its own. Count mismatches are exact; a per-source

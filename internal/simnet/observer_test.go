@@ -19,7 +19,7 @@ func (o *recObserver) OnDeliver(d Delivery) { o.deliveries = append(o.deliveries
 // counters and the recorded traces) and exactly the accounted
 // deliveries, and its presence does not perturb the run.
 func TestObserverSeesAllHopsAndDeliveries(t *testing.T) {
-	g := topology.Cycle(12)
+	g := topology.MustCycle(12)
 	p := dedicated(2)
 	specs := []PacketSpec{
 		{ID: PacketID{Source: 0, Channel: 0}, Route: pathRoute(11), Tee: true},
@@ -89,7 +89,7 @@ func TestObserverSeesAllHopsAndDeliveries(t *testing.T) {
 // must never see the canceled hop nor any downstream delivery of the
 // killed copy, and corrupted copies must be flagged on OnDeliver.
 func TestObserverSkipsDroppedHops(t *testing.T) {
-	g := topology.Cycle(12)
+	g := topology.MustCycle(12)
 	p := dedicated(2)
 	specs := []PacketSpec{
 		{ID: PacketID{Source: 0, Channel: 0}, Route: pathRoute(6), Tee: true},

@@ -132,7 +132,7 @@ func TestShardedIdenticalModes(t *testing.T) {
 // contention — the case the deterministic event key exists for — is
 // exercised heavily.
 func TestShardedIdenticalContended(t *testing.T) {
-	g := topology.Cycle(6)
+	g := topology.MustCycle(6)
 	ring := make([]topology.Node, 12)
 	for i := range ring {
 		ring[i] = topology.Node(i % 6)
@@ -176,7 +176,7 @@ func TestShardedIdenticalFlits(t *testing.T) {
 // path: a redirect chain where each packet is injected only after its
 // parent delivered at the child's source node.
 func TestShardedIdenticalDeps(t *testing.T) {
-	g := topology.Cycle(12)
+	g := topology.MustCycle(12)
 	route := func(from, n int) []topology.Node {
 		r := make([]topology.Node, n)
 		for i := range r {
@@ -243,7 +243,7 @@ func (noopController) OnTimer(Time, int64)                  {}
 // arcs; the run must clamp rather than divide by zero or leave empty
 // shards misrouting events.
 func TestShardedWorkerClamp(t *testing.T) {
-	g := topology.Cycle(3) // 6 arcs
+	g := topology.MustCycle(3) // 6 arcs
 	specs := []PacketSpec{{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2}, Tee: true}}
 	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 	want := capture(t, g, p, specs, Options{RecordDeliveries: true}, 0)
@@ -267,7 +267,7 @@ func TestScratchReuseAcrossTopologies(t *testing.T) {
 	}
 	big, bigSpecs := pipelineSpecs(64)
 	small, smallSpecs := pipelineSpecs(8)
-	qube := topology.Hypercube(3)
+	qube := topology.MustHypercube(3)
 	var qubeSpecs []PacketSpec
 	for s := 0; s < 8; s++ {
 		// One 3-hop dimension-ordered route per source.
@@ -285,7 +285,7 @@ func TestScratchReuseAcrossTopologies(t *testing.T) {
 		{"ring64", big, bigSpecs},
 		{"q3", qube, qubeSpecs},
 		{"ring8", small, smallSpecs},
-		{"deps", topology.Cycle(8), deps},
+		{"deps", topology.MustCycle(8), deps},
 		{"ring64-again", big, bigSpecs},
 	}
 	sc := NewScratch()
@@ -317,7 +317,7 @@ func TestScratchReuseAcrossTopologies(t *testing.T) {
 // cycle must behave exactly like the same routes compiled individually.
 func TestCompiledPathWindows(t *testing.T) {
 	const n = 16
-	g := topology.Cycle(n)
+	g := topology.MustCycle(n)
 	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37}
 	doubled := make([]topology.Node, 2*n)
 	for i := range doubled {
@@ -378,7 +378,7 @@ func TestCompiledPathWindows(t *testing.T) {
 // links in different orders (what sequential vs sharded engines do) must
 // not change any link's pattern.
 func TestBackgroundSeedPerArc(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := Params{TauS: 100, Alpha: 20, Mu: 2, D: 37, Rho: 0.5, Seed: 42}
 	sample := func(net *Network, order []int) map[int][]Time {
 		out := make(map[int][]Time)

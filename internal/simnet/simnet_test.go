@@ -58,7 +58,7 @@ func TestParamsValidate(t *testing.T) {
 // finishes at τ_S + (h-1)α + μα: one startup, h-1 cut-throughs, and the
 // pipelined transmission — the paper's per-stage accounting.
 func TestSinglePacketCutThroughTiming(t *testing.T) {
-	g := topology.Cycle(12)
+	g := topology.MustCycle(12)
 	for _, mu := range []int{1, 2, 4} {
 		for h := 1; h <= 11; h++ {
 			p := dedicated(mu)
@@ -79,7 +79,7 @@ func TestSinglePacketCutThroughTiming(t *testing.T) {
 
 // The same packet under store-and-forward costs h(τ_S + μα).
 func TestSinglePacketStoreAndForwardTiming(t *testing.T) {
-	g := topology.Cycle(12)
+	g := topology.MustCycle(12)
 	for _, mu := range []int{1, 3} {
 		for h := 1; h <= 11; h++ {
 			p := dedicated(mu)
@@ -102,7 +102,7 @@ func TestSinglePacketStoreAndForwardTiming(t *testing.T) {
 // Saturated mode reproduces the worst-case per-hop cost τ_S + μα + D of
 // the paper's Table IV analysis.
 func TestSinglePacketSaturatedTiming(t *testing.T) {
-	g := topology.Cycle(12)
+	g := topology.MustCycle(12)
 	p := dedicated(2)
 	for h := 1; h <= 11; h++ {
 		res := mustRun(t, g, p, []PacketSpec{{
@@ -119,7 +119,7 @@ func TestSinglePacketSaturatedTiming(t *testing.T) {
 // Wormhole and virtual cut-through are identical in an uncontended
 // network.
 func TestWormholeMatchesVCTWhenDedicated(t *testing.T) {
-	g := topology.Cycle(10)
+	g := topology.MustCycle(10)
 	pv := dedicated(2)
 	pw := dedicated(2)
 	pw.Mode = Wormhole
@@ -132,7 +132,7 @@ func TestWormholeMatchesVCTWhenDedicated(t *testing.T) {
 }
 
 func TestTeeDeliversToEveryNodeOnRoute(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := dedicated(2)
 	res := mustRun(t, g, p, []PacketSpec{{
 		ID:    PacketID{Source: 0},
@@ -158,7 +158,7 @@ func TestTeeDeliversToEveryNodeOnRoute(t *testing.T) {
 }
 
 func TestWithoutTeeOnlyFinalNodeReceives(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	res := mustRun(t, g, dedicated(1), []PacketSpec{{
 		ID:    PacketID{Source: 0},
 		Route: pathRoute(5),
@@ -175,7 +175,7 @@ func TestWithoutTeeOnlyFinalNodeReceives(t *testing.T) {
 // and the contention is counted.
 func TestContentionDetectedAndResolved(t *testing.T) {
 	// Path graph fragment of a cycle: both packets need link 2->3.
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := dedicated(2)
 	specs := []PacketSpec{
 		{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2, 3, 4}},
@@ -201,7 +201,7 @@ func TestContentionDetectedAndResolved(t *testing.T) {
 // contend (the IHC invariant at η = μ), but injected closer they do.
 func TestRingPipelineContentionBoundary(t *testing.T) {
 	const n = 24
-	g := topology.Cycle(n)
+	g := topology.MustCycle(n)
 	route := func(src int) []topology.Node {
 		r := make([]topology.Node, n)
 		for i := range r {
@@ -235,7 +235,7 @@ func TestRingPipelineContentionBoundary(t *testing.T) {
 }
 
 func TestRunRejectsBadSpecs(t *testing.T) {
-	g := topology.Cycle(6)
+	g := topology.MustCycle(6)
 	n, err := New(g, dedicated(1))
 	if err != nil {
 		t.Fatal(err)
@@ -253,7 +253,7 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	p := dedicated(2)
 	p.Rho = 0.3
 	p.Seed = 42
@@ -275,7 +275,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestBackgroundTrafficDelaysPackets(t *testing.T) {
-	g := topology.Cycle(32)
+	g := topology.MustCycle(32)
 	clean := dedicated(2)
 	loaded := dedicated(2)
 	loaded.Rho = 0.6
@@ -299,7 +299,7 @@ func TestBackgroundTrafficDelaysPackets(t *testing.T) {
 }
 
 func TestChainedRunsKeepLinkState(t *testing.T) {
-	g := topology.Cycle(6)
+	g := topology.MustCycle(6)
 	n, err := New(g, dedicated(2))
 	if err != nil {
 		t.Fatal(err)
@@ -381,7 +381,7 @@ func TestModeAndHopKindStrings(t *testing.T) {
 // Property: for random hop counts and μ, cut-through is never slower than
 // store-and-forward, and saturated is never faster than either.
 func TestQuickModeOrdering(t *testing.T) {
-	g := topology.Cycle(16)
+	g := topology.MustCycle(16)
 	f := func(hRaw, muRaw uint8) bool {
 		h := int(hRaw)%15 + 1
 		mu := int(muRaw)%4 + 1
@@ -409,7 +409,7 @@ func TestQuickModeOrdering(t *testing.T) {
 // consistent: hops are contiguous, departures non-decreasing, first hop is
 // an injection, later hops cut-throughs.
 func TestQuickTraceConsistency(t *testing.T) {
-	g := topology.Cycle(16)
+	g := topology.MustCycle(16)
 	f := func(hRaw uint8) bool {
 		h := int(hRaw)%15 + 1
 		p := dedicated(2)
@@ -449,7 +449,7 @@ func TestQuickTraceConsistency(t *testing.T) {
 }
 
 func TestDependencyInjection(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := dedicated(2)
 	specs := []PacketSpec{
 		{ID: PacketID{Source: 0}, Route: pathRoute(3), Tee: true},
@@ -470,7 +470,7 @@ func TestDependencyInjection(t *testing.T) {
 }
 
 func TestDependencyMultipleParentsUsesLatest(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := dedicated(1)
 	specs := []PacketSpec{
 		{ID: PacketID{Source: 0}, Route: []topology.Node{0, 1, 2}, Tee: true},
@@ -492,7 +492,7 @@ func TestDependencyMultipleParentsUsesLatest(t *testing.T) {
 }
 
 func TestDependencyNeverSatisfiedIsError(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	n, err := New(g, dedicated(1))
 	if err != nil {
 		t.Fatal(err)
@@ -524,7 +524,7 @@ func TestDependencyNeverSatisfiedIsError(t *testing.T) {
 }
 
 func TestDependencyCycleReportedUpfront(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	n, err := New(g, dedicated(1))
 	if err != nil {
 		t.Fatal(err)
@@ -548,7 +548,7 @@ func TestDependencyCycleReportedUpfront(t *testing.T) {
 }
 
 func TestDuplicateRouteArcRejected(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	n, err := New(g, dedicated(1))
 	if err != nil {
 		t.Fatal(err)
@@ -567,7 +567,7 @@ func TestDuplicateRouteArcRejected(t *testing.T) {
 }
 
 func TestDuplicateAfterEntryRejected(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	n, err := New(g, dedicated(1))
 	if err != nil {
 		t.Fatal(err)
@@ -585,7 +585,7 @@ func TestDuplicateAfterEntryRejected(t *testing.T) {
 // twice. The seed bug counted both deliveries against the child's pending
 // total, releasing it before its other parent had arrived.
 func TestDuplicateParentDeliveryDoesNotReleaseChild(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := dedicated(1)
 	specs := []PacketSpec{
 		// Delivers at node 1 twice: mid-route tee and final delivery.
@@ -626,7 +626,7 @@ func TestParamsDefaulted(t *testing.T) {
 }
 
 func TestResultCountsEvents(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	res := mustRun(t, g, dedicated(2), []PacketSpec{
 		{ID: PacketID{Source: 0}, Route: pathRoute(4), Tee: true},
 	}, Options{})
@@ -636,7 +636,7 @@ func TestResultCountsEvents(t *testing.T) {
 }
 
 func TestVariableFlitsTiming(t *testing.T) {
-	g := topology.Cycle(8)
+	g := topology.MustCycle(8)
 	p := dedicated(2)
 	p.Mode = StoreAndForward
 	res := mustRun(t, g, p, []PacketSpec{{

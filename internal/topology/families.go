@@ -2,18 +2,33 @@ package topology
 
 import "fmt"
 
+// must unwraps a constructor result whose input is a compile-time
+// constant — the regexp.MustCompile idiom. Validation of *variable*
+// input belongs to the error-returning constructors: a bad size must
+// not crash a long-running daemon.
+func must(g *Graph, err error) *Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // Cycle returns the undirected cycle C_k on k >= 3 nodes, with node i
 // adjacent to (i±1) mod k.
-func Cycle(k int) *Graph {
+func Cycle(k int) (*Graph, error) {
 	if k < 3 {
-		panic(fmt.Sprintf("topology: Cycle requires k >= 3, got %d", k))
+		return nil, fmt.Errorf("topology: Cycle requires k >= 3, got %d", k)
 	}
 	g := New(fmt.Sprintf("C%d", k), k)
 	for i := 0; i < k; i++ {
 		g.AddEdge(Node(i), Node((i+1)%k))
 	}
-	return g
+	return g, nil
 }
+
+// MustCycle is Cycle for statically known-good sizes: it panics on the
+// error a variable size should handle.
+func MustCycle(k int) *Graph { return must(Cycle(k)) }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
@@ -30,9 +45,9 @@ func Complete(n int) *Graph {
 // nodes. Node addresses are m-bit integers; two nodes are adjacent iff
 // their addresses differ in exactly one bit. Bit i of the address is the
 // paper's "direction i" (0 <= i <= m-1).
-func Hypercube(m int) *Graph {
+func Hypercube(m int) (*Graph, error) {
 	if m < 0 || m > 30 {
-		panic(fmt.Sprintf("topology: Hypercube dimension %d out of range [0,30]", m))
+		return nil, fmt.Errorf("topology: Hypercube dimension %d out of range [0,30]", m)
 	}
 	n := 1 << m
 	g := New(fmt.Sprintf("Q%d", m), n)
@@ -44,8 +59,11 @@ func Hypercube(m int) *Graph {
 			}
 		}
 	}
-	return g
+	return g, nil
 }
+
+// MustHypercube is Hypercube for statically known-good dimensions.
+func MustHypercube(m int) *Graph { return must(Hypercube(m)) }
 
 // HypercubeDirection returns which direction (differing bit index) joins
 // adjacent hypercube nodes u and v, or -1 if they are not adjacent in Q_m.
@@ -65,9 +83,9 @@ func HypercubeDirection(u, v Node) int {
 // SquareTorus returns the torus-wrapped square mesh SQ_m: an m x m grid
 // (m >= 3) with wraparound in both rows and columns. Node (r, c) has index
 // r*m + c. Every node has degree 4, so SQ_m is in class Λ with γ = 4.
-func SquareTorus(m int) *Graph {
+func SquareTorus(m int) (*Graph, error) {
 	if m < 3 {
-		panic(fmt.Sprintf("topology: SquareTorus requires m >= 3, got %d", m))
+		return nil, fmt.Errorf("topology: SquareTorus requires m >= 3, got %d", m)
 	}
 	g := New(fmt.Sprintf("SQ%d", m), m*m)
 	id := func(r, c int) Node { return Node(((r+m)%m)*m + (c+m)%m) }
@@ -77,8 +95,11 @@ func SquareTorus(m int) *Graph {
 			g.AddEdge(id(r, c), id(r+1, c))
 		}
 	}
-	return g
+	return g, nil
 }
+
+// MustSquareTorus is SquareTorus for statically known-good sizes.
+func MustSquareTorus(m int) *Graph { return must(SquareTorus(m)) }
 
 // TorusNode returns the node index of grid position (r, c) in SQ_m, with
 // both coordinates taken modulo m.
@@ -104,9 +125,9 @@ func HexSteps(m int) [3]int { return [3]int{1, 3*m - 2, 3*m - 1} }
 
 // HexMesh returns the C-wrapped hexagonal mesh H_m of size m >= 2, with
 // N = 3m(m-1)+1 nodes and degree 6. H_2 is K_7.
-func HexMesh(m int) *Graph {
+func HexMesh(m int) (*Graph, error) {
 	if m < 2 {
-		panic(fmt.Sprintf("topology: HexMesh requires m >= 2, got %d", m))
+		return nil, fmt.Errorf("topology: HexMesh requires m >= 2, got %d", m)
 	}
 	n := HexMeshSize(m)
 	g := New(fmt.Sprintf("H%d", m), n)
@@ -118,8 +139,11 @@ func HexMesh(m int) *Graph {
 			}
 		}
 	}
-	return g
+	return g, nil
 }
+
+// MustHexMesh is HexMesh for statically known-good sizes.
+func MustHexMesh(m int) *Graph { return must(HexMesh(m)) }
 
 // CartesianProduct returns the cartesian product g x h (also called the
 // cartesian sum in Aubert & Schneider's terminology): nodes are pairs
@@ -166,18 +190,18 @@ func ProductCoords(h *Graph, u Node) (a, b Node) {
 // Every dimension must be >= 3 (a 2-long dimension would create parallel
 // edges). Node coordinates are mixed-radix with the last dimension
 // fastest: index = ((x1·k2 + x2)·k3 + x3)... The name is "T<k1>x<k2>x...".
-func TorusND(dims ...int) *Graph {
+func TorusND(dims ...int) (*Graph, error) {
 	if len(dims) == 0 {
-		panic("topology: TorusND needs at least one dimension")
+		return nil, fmt.Errorf("topology: TorusND needs at least one dimension")
 	}
 	n := 1
 	name := "T"
 	for i, k := range dims {
 		if k < 3 {
-			panic(fmt.Sprintf("topology: TorusND dimension %d is %d, need >= 3", i, k))
+			return nil, fmt.Errorf("topology: TorusND dimension %d is %d, need >= 3", i, k)
 		}
 		if n > 1<<22/k {
-			panic("topology: TorusND too large")
+			return nil, fmt.Errorf("topology: TorusND with dimensions %v exceeds the 2^22-node cap", dims)
 		}
 		n *= k
 		if i > 0 {
@@ -208,8 +232,11 @@ func TorusND(dims ...int) *Graph {
 			g.AddEdge(Node(u), Node(up))
 		}
 	}
-	return g
+	return g, nil
 }
+
+// MustTorusND is TorusND for statically known-good dimension lists.
+func MustTorusND(dims ...int) *Graph { return must(TorusND(dims...)) }
 
 // TorusDims parses a TorusND name of the form "T<k1>x<k2>x..." back into
 // its dimension list, returning ok=false for other names.

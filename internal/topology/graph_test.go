@@ -79,7 +79,7 @@ func TestGraphBasics(t *testing.T) {
 
 func TestCycle(t *testing.T) {
 	for _, k := range []int{3, 4, 7, 12} {
-		c := Cycle(k)
+		c := MustCycle(k)
 		if c.N() != k || c.M() != k {
 			t.Fatalf("C%d: N=%d M=%d", k, c.N(), c.M())
 		}
@@ -104,7 +104,7 @@ func TestComplete(t *testing.T) {
 
 func TestHypercubeStructure(t *testing.T) {
 	for m := 0; m <= 6; m++ {
-		q := Hypercube(m)
+		q := MustHypercube(m)
 		wantN := 1 << m
 		if q.N() != wantN {
 			t.Fatalf("Q%d: N = %d", m, q.N())
@@ -140,7 +140,7 @@ func TestHypercubeDirection(t *testing.T) {
 
 func TestHypercubeConnectivity(t *testing.T) {
 	for m := 2; m <= 4; m++ {
-		q := Hypercube(m)
+		q := MustHypercube(m)
 		if k := q.NodeConnectivity(); k != m {
 			t.Fatalf("κ(Q%d) = %d, want %d", m, k, m)
 		}
@@ -152,7 +152,7 @@ func TestHypercubeConnectivity(t *testing.T) {
 
 func TestSquareTorusStructure(t *testing.T) {
 	for _, m := range []int{3, 4, 5, 8} {
-		sq := SquareTorus(m)
+		sq := MustSquareTorus(m)
 		if sq.N() != m*m {
 			t.Fatalf("SQ%d: N = %d", m, sq.N())
 		}
@@ -170,7 +170,7 @@ func TestSquareTorusStructure(t *testing.T) {
 }
 
 func TestSquareTorusConnectivity(t *testing.T) {
-	sq := SquareTorus(4)
+	sq := MustSquareTorus(4)
 	if k := sq.NodeConnectivity(); k != 4 {
 		t.Fatalf("κ(SQ4) = %d, want 4", k)
 	}
@@ -194,7 +194,7 @@ func TestTorusCoordsRoundTrip(t *testing.T) {
 
 func TestHexMeshStructure(t *testing.T) {
 	for _, m := range []int{2, 3, 4, 5} {
-		h := HexMesh(m)
+		h := MustHexMesh(m)
 		wantN := 3*m*(m-1) + 1
 		if h.N() != wantN {
 			t.Fatalf("H%d: N = %d, want %d", m, h.N(), wantN)
@@ -209,7 +209,7 @@ func TestHexMeshStructure(t *testing.T) {
 }
 
 func TestHexMeshH2IsK7(t *testing.T) {
-	h := HexMesh(2)
+	h := MustHexMesh(2)
 	k := Complete(7)
 	if h.N() != 7 || h.M() != k.M() {
 		t.Fatalf("H2 has %d nodes %d edges", h.N(), h.M())
@@ -224,7 +224,7 @@ func TestHexMeshH2IsK7(t *testing.T) {
 }
 
 func TestHexMeshConnectivity(t *testing.T) {
-	h := HexMesh(3) // 19 nodes, the HARTS configuration
+	h := MustHexMesh(3) // 19 nodes, the HARTS configuration
 	if k := h.NodeConnectivity(); k != 6 {
 		t.Fatalf("κ(H3) = %d, want 6", k)
 	}
@@ -253,8 +253,8 @@ func TestHexStepsCoprime(t *testing.T) {
 func TestCartesianProductTorus(t *testing.T) {
 	// C4 x C4 must be exactly SQ4 up to the node numbering used by both
 	// constructions (which coincide: (a,b) -> 4a+b).
-	p := CartesianProduct(Cycle(4), Cycle(4))
-	sq := SquareTorus(4)
+	p := CartesianProduct(MustCycle(4), MustCycle(4))
+	sq := MustSquareTorus(4)
 	if p.N() != sq.N() || p.M() != sq.M() {
 		t.Fatalf("C4xC4: %d nodes %d edges; SQ4: %d nodes %d edges",
 			p.N(), p.M(), sq.N(), sq.M())
@@ -270,8 +270,8 @@ func TestCartesianProductHypercubeRecursion(t *testing.T) {
 	// Q_m = K2 x Q_{m-1} (up to relabeling; with our index order the
 	// product node (a,b) = a*2^{m-1}+b matches the hypercube address).
 	for m := 1; m <= 5; m++ {
-		q := Hypercube(m)
-		p := CartesianProduct(Complete(2), Hypercube(m-1))
+		q := MustHypercube(m)
+		p := CartesianProduct(Complete(2), MustHypercube(m-1))
 		if p.N() != q.N() || p.M() != q.M() {
 			t.Fatalf("m=%d: product %d/%d vs Q %d/%d", m, p.N(), p.M(), q.N(), q.M())
 		}
@@ -284,7 +284,7 @@ func TestCartesianProductHypercubeRecursion(t *testing.T) {
 }
 
 func TestProductCoordsRoundTrip(t *testing.T) {
-	h := Cycle(5)
+	h := MustCycle(5)
 	for a := Node(0); a < 4; a++ {
 		for b := Node(0); b < 5; b++ {
 			u := ProductNode(h, a, b)
@@ -301,8 +301,8 @@ func TestQ4IsomorphicToSQ4(t *testing.T) {
 	// explicit isomorphism maps torus cell (r,c) to hypercube address
 	// gray(r)<<2 | gray(c).
 	gray := [4]int{0, 1, 3, 2}
-	q := Hypercube(4)
-	sq := SquareTorus(4)
+	q := MustHypercube(4)
+	sq := MustSquareTorus(4)
 	phi := func(u Node) Node {
 		r, c := TorusCoords(4, u)
 		return Node(gray[r]<<2 | gray[c])
@@ -325,7 +325,7 @@ func TestQ4IsomorphicToSQ4(t *testing.T) {
 }
 
 func TestBFSAndDiameter(t *testing.T) {
-	q := Hypercube(3)
+	q := MustHypercube(3)
 	dist := q.BFS(0)
 	for v := 0; v < 8; v++ {
 		want := popcount(v)
@@ -354,7 +354,7 @@ func popcount(v int) int {
 // Property: in any hypercube, the number of node-disjoint paths between
 // any two distinct nodes equals the dimension (Menger + κ(Q_m) = m).
 func TestQuickHypercubeMenger(t *testing.T) {
-	q := Hypercube(4)
+	q := MustHypercube(4)
 	f := func(a, b uint8) bool {
 		u := Node(a % 16)
 		v := Node(b % 16)
@@ -371,7 +371,7 @@ func TestQuickHypercubeMenger(t *testing.T) {
 // Property: BFS distance in SQ_m equals the L1 torus distance.
 func TestQuickTorusDistance(t *testing.T) {
 	const m = 6
-	sq := SquareTorus(m)
+	sq := MustSquareTorus(m)
 	torusAbs := func(d int) int {
 		d = ((d % m) + m) % m
 		if d > m/2 {
@@ -393,7 +393,7 @@ func TestQuickTorusDistance(t *testing.T) {
 }
 
 func TestDegreeAndString(t *testing.T) {
-	q := Hypercube(3)
+	q := MustHypercube(3)
 	if q.Degree(5) != 3 {
 		t.Fatalf("Degree = %d", q.Degree(5))
 	}
@@ -403,6 +403,7 @@ func TestDegreeAndString(t *testing.T) {
 }
 
 func TestPanicsOnBadNodes(t *testing.T) {
+	// Internal-invariant violations still panic...
 	g := New("g", 2)
 	for _, f := range []func(){
 		func() { g.AddEdge(0, 5) },
@@ -410,14 +411,8 @@ func TestPanicsOnBadNodes(t *testing.T) {
 		func() { g.Neighbors(7) },
 		func() { g.Degree(-2) },
 		func() { New("neg", -1) },
-		func() { Cycle(2) },
 		func() { Complete(3).EdgeDisjointPaths(1, 1) },
 		func() { Complete(3).NodeDisjointPaths(2, 2) },
-		func() { Hypercube(31) },
-		func() { SquareTorus(2) },
-		func() { HexMesh(1) },
-		func() { TorusND() },
-		func() { TorusND(4, 2) },
 	} {
 		func() {
 			defer func() {
@@ -428,10 +423,34 @@ func TestPanicsOnBadNodes(t *testing.T) {
 			f()
 		}()
 	}
+	// ...while the family constructors reject bad *input* as errors (a
+	// daemon fed a bad size must not crash), and the Must wrappers
+	// re-raise those errors as panics for static call sites.
+	for _, c := range []func() (*Graph, error){
+		func() (*Graph, error) { return Cycle(2) },
+		func() (*Graph, error) { return Hypercube(31) },
+		func() (*Graph, error) { return Hypercube(-1) },
+		func() (*Graph, error) { return SquareTorus(2) },
+		func() (*Graph, error) { return HexMesh(1) },
+		func() (*Graph, error) { return TorusND() },
+		func() (*Graph, error) { return TorusND(4, 2) },
+	} {
+		if g, err := c(); err == nil || g != nil {
+			t.Fatalf("bad constructor input returned (%v, %v), want error", g, err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustCycle(2) did not panic")
+			}
+		}()
+		MustCycle(2)
+	}()
 }
 
 func TestTorusNDBasics(t *testing.T) {
-	g := TorusND(3, 4, 5)
+	g := MustTorusND(3, 4, 5)
 	if g.Name() != "T3x4x5" {
 		t.Fatalf("name = %q", g.Name())
 	}

@@ -34,10 +34,10 @@ func TestEdgeDisjointPathRoutes(t *testing.T) {
 		name string
 		g    *Graph
 	}{
-		{"sq4", SquareTorus(4)},
-		{"q4", Hypercube(4)},
-		{"q6", Hypercube(6)},
-		{"h3", HexMesh(3)},
+		{"sq4", MustSquareTorus(4)},
+		{"q4", MustHypercube(4)},
+		{"q6", MustHypercube(6)},
+		{"h3", MustHexMesh(3)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			g := tc.g
@@ -58,7 +58,7 @@ func TestEdgeDisjointPathRoutes(t *testing.T) {
 }
 
 func TestEdgeDisjointPathRoutesDeterministic(t *testing.T) {
-	g := SquareTorus(4)
+	g := MustSquareTorus(4)
 	a := g.EdgeDisjointPathRoutes(0, 10)
 	b := g.EdgeDisjointPathRoutes(0, 10)
 	if len(a) != len(b) {
@@ -86,7 +86,7 @@ func TestEdgeDisjointPathRoutesDisconnected(t *testing.T) {
 }
 
 func TestShortestPathAvoiding(t *testing.T) {
-	g := SquareTorus(4)
+	g := MustSquareTorus(4)
 	// Unrestricted: must match BFS distance.
 	dist := g.BFS(0)
 	for v := 1; v < g.N(); v++ {

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ihc/internal/hlc"
+	"ihc/internal/reliable"
+	"ihc/internal/topology"
+)
+
+// FrameKind discriminates the wire protocol's message types.
+type FrameKind uint8
+
+const (
+	// FrameData carries one hop of a scheduled broadcast copy: the
+	// source's payload for one channel, travelling its compiled
+	// Hamiltonian-cycle route.
+	FrameData FrameKind = iota + 1
+	// FrameNak asks a peer to retransmit the copy (Source, Channel)
+	// that missed its deadline at the requester.
+	FrameNak
+	// FrameRepair answers a NAK with the stored copy.
+	FrameRepair
+	// FrameMiss answers a NAK the provider cannot serve (it does not
+	// hold the copy either); the requester rotates to the next peer
+	// immediately instead of burning the full timeout.
+	FrameMiss
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameData:
+		return "DATA"
+	case FrameNak:
+		return "NAK"
+	case FrameRepair:
+		return "REPAIR"
+	case FrameMiss:
+		return "MISS"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", uint8(k))
+	}
+}
+
+// Frame is the unit the transport moves: one signed broadcast copy (or
+// one repair-protocol control message) plus the routing state a
+// store-and-forward relay needs.
+type Frame struct {
+	Kind    FrameKind
+	From    topology.Node // immediate sender (previous hop), not the origin
+	Source  topology.Node // broadcast source the payload belongs to
+	Channel uint8         // Hamiltonian cycle index j < γ
+	Stage   uint8         // schedule stage the copy was injected in
+	Hop     uint16        // index into Route of the holder when it sent this frame
+	HLC     hlc.Timestamp // sender's hybrid logical clock at send time
+	// Route is the remaining relay chain for DATA/REPAIR frames: the
+	// full node sequence of the copy's directed-cycle window. Empty
+	// for NAK/MISS.
+	Route   []topology.Node
+	Payload []byte
+	MAC     []byte // HMAC over the canonical bytes, under Source's key
+}
+
+// Wire limits. MaxFrame bounds what a reader will accept before
+// decoding — a corrupt or hostile length prefix must not allocate
+// gigabytes.
+const (
+	MaxFrame    = 1 << 16
+	maxRouteLen = 1 << 12
+	frameHdr    = 1 + 4 + 4 + 4 + 1 + 1 + 2 + 8 + 4 + 2 // through route length
+)
+
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
+	ErrFrameTruncated = errors.New("transport: frame body truncated")
+)
+
+// EncodeFrame serialises f into a self-contained body (no length
+// prefix; WriteFrame adds one). Layout, little-endian:
+//
+//	kind u8 | from i32 | source i32 | reserved u32 |
+//	channel u8 | stage u8 | hop u16 | hlcWall i64 | hlcLogical u32 |
+//	routeLen u16 | route i32×routeLen |
+//	payloadLen u16 | payload | macLen u16 | mac
+func EncodeFrame(f *Frame) ([]byte, error) {
+	if len(f.Route) > maxRouteLen {
+		return nil, fmt.Errorf("transport: route length %d exceeds %d", len(f.Route), maxRouteLen)
+	}
+	if len(f.Payload) > MaxFrame || len(f.MAC) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	n := frameHdr + 4*len(f.Route) + 2 + len(f.Payload) + 2 + len(f.MAC)
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	b := make([]byte, 0, n)
+	b = append(b, byte(f.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.From)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.Source)))
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = append(b, f.Channel, f.Stage)
+	b = binary.LittleEndian.AppendUint16(b, f.Hop)
+	b = binary.LittleEndian.AppendUint64(b, uint64(f.HLC.Wall))
+	b = binary.LittleEndian.AppendUint32(b, f.HLC.Logical)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Route)))
+	for _, v := range f.Route {
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(v)))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Payload)))
+	b = append(b, f.Payload...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.MAC)))
+	b = append(b, f.MAC...)
+	return b, nil
+}
+
+// DecodeFrame parses a frame body produced by EncodeFrame. It never
+// panics on malformed input: every length is bounds-checked before use,
+// so a corrupted or adversarial body surfaces as an error.
+func DecodeFrame(b []byte) (*Frame, error) {
+	if len(b) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if len(b) < frameHdr {
+		return nil, ErrFrameTruncated
+	}
+	f := &Frame{}
+	f.Kind = FrameKind(b[0])
+	if f.Kind < FrameData || f.Kind > FrameMiss {
+		return nil, fmt.Errorf("transport: unknown frame kind %d", b[0])
+	}
+	f.From = topology.Node(int32(binary.LittleEndian.Uint32(b[1:])))
+	f.Source = topology.Node(int32(binary.LittleEndian.Uint32(b[5:])))
+	// b[9:13] reserved
+	f.Channel = b[13]
+	f.Stage = b[14]
+	f.Hop = binary.LittleEndian.Uint16(b[15:])
+	f.HLC.Wall = int64(binary.LittleEndian.Uint64(b[17:]))
+	f.HLC.Logical = binary.LittleEndian.Uint32(b[25:])
+	routeLen := int(binary.LittleEndian.Uint16(b[29:]))
+	off := frameHdr
+	if routeLen > maxRouteLen || len(b) < off+4*routeLen+2 {
+		return nil, ErrFrameTruncated
+	}
+	if routeLen > 0 {
+		f.Route = make([]topology.Node, routeLen)
+		for i := range f.Route {
+			f.Route[i] = topology.Node(int32(binary.LittleEndian.Uint32(b[off+4*i:])))
+		}
+	}
+	off += 4 * routeLen
+	payloadLen := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+payloadLen+2 {
+		return nil, ErrFrameTruncated
+	}
+	if payloadLen > 0 {
+		f.Payload = append([]byte(nil), b[off:off+payloadLen]...)
+	}
+	off += payloadLen
+	macLen := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) != off+macLen {
+		return nil, ErrFrameTruncated
+	}
+	if macLen > 0 {
+		f.MAC = append([]byte(nil), b[off:off+macLen]...)
+	}
+	return f, nil
+}
+
+// canonicalBytes is what the MAC covers: the fields a relay must not be
+// able to alter undetected. From, Hop, Route, and HLC are deliberately
+// excluded — they legitimately change at every hop; Source, Channel,
+// Stage, and Payload identify the broadcast copy itself.
+func canonicalBytes(f *Frame) []byte {
+	b := make([]byte, 0, 10+len(f.Payload))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.Source)))
+	b = append(b, f.Channel, f.Stage)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Payload)))
+	return append(b, f.Payload...)
+}
+
+// SignFrame fills in f.MAC under the source's key.
+func SignFrame(kr *reliable.Keyring, f *Frame) error {
+	msg, err := kr.Sign(reliable.Message{Source: f.Source, Payload: canonicalBytes(f)})
+	if err != nil {
+		return err
+	}
+	f.MAC = msg.MAC
+	return nil
+}
+
+// VerifyFrame reports whether f's MAC is valid under its claimed
+// source's key. Control frames (NAK/MISS) carry no payload MAC and are
+// accepted unsigned — they can only trigger retransmission of signed
+// data, never forge it.
+func VerifyFrame(kr *reliable.Keyring, f *Frame) (bool, error) {
+	if f.Kind == FrameNak || f.Kind == FrameMiss {
+		return true, nil
+	}
+	return kr.Verify(reliable.Message{Source: f.Source, Payload: canonicalBytes(f), MAC: f.MAC})
+}
+
+// WriteFrame writes body to w as one length-prefixed record.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var pre [4]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(body)))
+	if _, err := w.Write(pre[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed record from r. The length is
+// validated against MaxFrame before any allocation.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(pre[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ihc/internal/hlc"
+	"ihc/internal/reliable"
+	"ihc/internal/topology"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		Kind:    FrameData,
+		From:    3,
+		Source:  5,
+		Channel: 1,
+		Stage:   2,
+		Hop:     4,
+		HLC:     hlc.Timestamp{Wall: 123456789, Logical: 7},
+		Route:   []topology.Node{5, 4, 6, 7, 3, 2, 0, 1},
+		Payload: []byte("payload-bytes"),
+		MAC:     []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range []*Frame{
+		sampleFrame(),
+		{Kind: FrameNak, From: 1, Source: 2, Channel: 0},
+		{Kind: FrameMiss, From: 6, Source: 0, Channel: 1, Stage: 3},
+		{Kind: FrameRepair, Source: 7, Route: []topology.Node{7, 6}, Payload: []byte{1}},
+	} {
+		body, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", f.Kind, err)
+		}
+		got, err := DecodeFrame(body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", f.Kind, err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("%s round trip:\n sent %+v\n got  %+v", f.Kind, f, got)
+		}
+	}
+}
+
+// TestDecodeNeverPanics truncates and mutates a valid body every way a
+// broken link could: all prefixes, plus every single-byte corruption.
+// Decoding must return a frame or an error — never panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	body, err := EncodeFrame(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := DecodeFrame(body[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	for i := range body {
+		mut := append([]byte(nil), body...)
+		mut[i] ^= 0xff
+		DecodeFrame(mut) // outcome irrelevant; must not panic
+	}
+}
+
+func TestDecodeRejectsBadKindAndLengths(t *testing.T) {
+	body, _ := EncodeFrame(sampleFrame())
+	bad := append([]byte(nil), body...)
+	bad[0] = 0
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+	bad[0] = 200
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("kind 200 accepted")
+	}
+	if _, err := DecodeFrame(make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized body: %v, want ErrFrameTooLarge", err)
+	}
+	long := &Frame{Kind: FrameData, Route: make([]topology.Node, maxRouteLen+1)}
+	if _, err := EncodeFrame(long); err == nil {
+		t.Fatal("oversized route encoded")
+	}
+}
+
+func TestSignAndVerifyFrame(t *testing.T) {
+	kr := reliable.NewKeyring(8, 42)
+	f := sampleFrame()
+	f.MAC = nil
+	if err := SignFrame(kr, f); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := VerifyFrame(kr, f)
+	if err != nil || !ok {
+		t.Fatalf("signed frame rejected: ok=%v err=%v", ok, err)
+	}
+	// Per-hop mutable fields must not affect the MAC.
+	f.From, f.Hop, f.HLC = 0, 99, hlc.Timestamp{Wall: 1}
+	f.Route = nil
+	if ok, _ := VerifyFrame(kr, f); !ok {
+		t.Fatal("per-hop field change invalidated the MAC")
+	}
+	// MAC-covered fields must.
+	tampered := *f
+	tampered.Payload = append([]byte(nil), f.Payload...)
+	tampered.Payload[0] ^= 1
+	if ok, _ := VerifyFrame(kr, &tampered); ok {
+		t.Fatal("payload tamper passed verification")
+	}
+	tampered = *f
+	tampered.Channel ^= 1
+	if ok, _ := VerifyFrame(kr, &tampered); ok {
+		t.Fatal("channel tamper passed verification")
+	}
+	// Control frames are accepted unsigned.
+	nak := &Frame{Kind: FrameNak, Source: 5}
+	if ok, err := VerifyFrame(kr, nak); !ok || err != nil {
+		t.Fatalf("unsigned NAK rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{[]byte("one"), {}, []byte("three")}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range bodies {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: %q != %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("read past final record succeeded")
+	}
+	// A hostile length prefix is refused before allocation.
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized write: %v", err)
+	}
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("hostile prefix: %v, want ErrFrameTooLarge", err)
+	}
+}

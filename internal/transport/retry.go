@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BackoffConfig shapes a jittered exponential backoff sequence. The
+// zero value is not usable; call Defaulted or fill every field.
+type BackoffConfig struct {
+	Base   time.Duration // first delay
+	Max    time.Duration // ceiling the sequence saturates at
+	Factor float64       // multiplier between attempts, ≥ 1
+	// Jitter is the fraction of each delay randomized away: attempt k
+	// yields a delay uniform in [d·(1−Jitter), d] where
+	// d = min(Base·Factor^k, Max). 0 disables jitter; must be < 1.
+	Jitter float64
+	Seed   int64 // randomness seed; 0 means unseeded (time-based)
+}
+
+// Defaulted fills zero fields with production defaults: 50ms base,
+// 5s cap, ×2 growth, 20% jitter.
+func (c BackoffConfig) Defaulted() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 50 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 5 * time.Second
+	}
+	if c.Factor < 1 {
+		c.Factor = 2
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		c.Jitter = 0.2
+	}
+	return c
+}
+
+// Backoff produces one peer's retry delays. Not safe for concurrent
+// use; each retry loop owns its own.
+type Backoff struct {
+	cfg     BackoffConfig
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a backoff sequence over c (zero fields defaulted).
+func NewBackoff(c BackoffConfig) *Backoff {
+	c = c.Defaulted()
+	seed := c.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{cfg: c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay before the next attempt and advances the
+// sequence. Deterministic for a fixed Seed.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.cfg.Base)
+	for i := 0; i < b.attempt; i++ {
+		d *= b.cfg.Factor
+		if d >= float64(b.cfg.Max) {
+			d = float64(b.cfg.Max)
+			break
+		}
+	}
+	if d > float64(b.cfg.Max) {
+		d = float64(b.cfg.Max)
+	}
+	b.attempt++
+	if b.cfg.Jitter > 0 {
+		d -= d * b.cfg.Jitter * b.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Attempt returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset rewinds the sequence to the first delay after a success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig shapes a per-peer circuit breaker.
+type BreakerConfig struct {
+	// Threshold consecutive failures trip the breaker open.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// single half-open probe.
+	Cooldown time.Duration
+}
+
+// Defaulted fills zero fields: trip after 5 consecutive failures, probe
+// after 500ms.
+func (c BreakerConfig) Defaulted() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker: after Threshold consecutive
+// failures it refuses traffic for Cooldown, then admits exactly one
+// probe; the probe's outcome closes or re-opens it. Safe for concurrent
+// use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	now      func() time.Time // test hook
+}
+
+// NewBreaker returns a closed breaker over c (zero fields defaulted).
+func NewBreaker(c BreakerConfig) *Breaker {
+	return &Breaker{cfg: c.Defaulted(), now: time.Now}
+}
+
+// newBreakerAt is the test constructor with a manual clock.
+func newBreakerAt(c BreakerConfig, now func() time.Time) *Breaker {
+	return &Breaker{cfg: c.Defaulted(), now: now}
+}
+
+// Allow reports whether an attempt may proceed now. In the open state
+// it returns false until the cooldown elapses, then transitions to
+// half-open and admits exactly one caller; concurrent callers during
+// the probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Admittable reports whether new traffic should be accepted toward
+// this peer: true when closed, when half-open (the in-flight probe may
+// deliver it), or when open with the cooldown elapsed (the attempt
+// becomes the probe). Unlike Allow it never changes state, so senders
+// can poll it without stealing the probe slot from the dialer.
+func (b *Breaker) Admittable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return b.now().Sub(b.openedAt) >= b.cfg.Cooldown
+	}
+	return true
+}
+
+// Success records a successful attempt: closes the breaker and clears
+// the failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed attempt. In half-open it re-opens
+// immediately; in closed it trips once Threshold consecutive failures
+// accumulate.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's current position (open reported as open
+// even if the cooldown has elapsed — the transition happens in Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds checks every delay against the documented
+// envelope: attempt k is uniform in [d·(1−J), d] with
+// d = min(Base·Factor^k, Max).
+func TestBackoffJitterBounds(t *testing.T) {
+	cfg := BackoffConfig{
+		Base: 10 * time.Millisecond, Max: 200 * time.Millisecond,
+		Factor: 2, Jitter: 0.25, Seed: 7,
+	}
+	b := NewBackoff(cfg)
+	d := float64(cfg.Base)
+	for k := 0; k < 12; k++ {
+		got := b.Next()
+		lo := time.Duration(d * (1 - cfg.Jitter))
+		hi := time.Duration(d)
+		if got < lo || got > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", k, got, lo, hi)
+		}
+		d *= cfg.Factor
+		if d > float64(cfg.Max) {
+			d = float64(cfg.Max)
+		}
+	}
+	if b.Attempt() != 12 {
+		t.Fatalf("attempt counter = %d, want 12", b.Attempt())
+	}
+}
+
+// TestBackoffSaturatesAtMax: once the exponential passes Max, every
+// delay stays within [Max·(1−J), Max] forever.
+func TestBackoffSaturatesAtMax(t *testing.T) {
+	cfg := BackoffConfig{
+		Base: time.Millisecond, Max: 16 * time.Millisecond,
+		Factor: 4, Jitter: 0.1, Seed: 3,
+	}
+	b := NewBackoff(cfg)
+	for k := 0; k < 3; k++ {
+		b.Next()
+	}
+	for k := 0; k < 50; k++ {
+		got := b.Next()
+		lo := time.Duration(float64(cfg.Max) * (1 - cfg.Jitter))
+		if got < lo || got > cfg.Max {
+			t.Fatalf("saturated attempt %d: delay %v outside [%v, %v]", k, got, lo, cfg.Max)
+		}
+	}
+}
+
+// TestBackoffDeterministicForSeed: two sequences under the same seed
+// agree delay for delay; Reset rewinds the growth but not the RNG.
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	cfg := BackoffConfig{Base: 5 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5, Seed: 11}
+	a, b := NewBackoff(cfg), NewBackoff(cfg)
+	for k := 0; k < 20; k++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: %v != %v under equal seeds", k, da, db)
+		}
+	}
+	a.Reset()
+	if a.Attempt() != 0 {
+		t.Fatalf("attempt after Reset = %d", a.Attempt())
+	}
+	if d := a.Next(); d > cfg.Base {
+		t.Fatalf("first delay after Reset = %v, want <= Base %v", d, cfg.Base)
+	}
+}
+
+// TestBackoffNoJitter: with Jitter 0 the sequence is exactly
+// Base·Factor^k capped at Max.
+func TestBackoffNoJitter(t *testing.T) {
+	b := NewBackoff(BackoffConfig{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, Factor: 2, Jitter: 0, Seed: 1})
+	want := []time.Duration{2, 4, 8, 16, 16, 16}
+	for k, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want %v", k, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestBreakerTransitions walks the full closed → open → half-open →
+// closed cycle, and the half-open → open failure path, on a manual
+// clock.
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	cfg := BreakerConfig{Threshold: 3, Cooldown: 100 * time.Millisecond}
+	b := newBreakerAt(cfg, clock)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %v, want closed", b.State())
+	}
+	// Failures below the threshold keep it closed.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state %v after 2/3 failures, want closed+allowing", b.State())
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic before cooldown")
+	}
+	if b.Admittable() {
+		t.Fatal("open breaker admitted new traffic before cooldown")
+	}
+	// Cooldown not yet elapsed.
+	now = now.Add(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic 1ms early")
+	}
+	// Cooldown elapsed: senders may queue again (without stealing the
+	// probe slot), and exactly one probe is admitted.
+	now = now.Add(time.Millisecond)
+	if !b.Admittable() {
+		t.Fatal("cooldown elapsed but traffic still refused")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("Admittable changed breaker state")
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted during half-open probe")
+	}
+	// Probe failure re-opens immediately and restarts the cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed traffic without a fresh cooldown")
+	}
+	now = now.Add(cfg.Cooldown)
+	if !b.Allow() {
+		t.Fatal("second probe refused after fresh cooldown")
+	}
+	// Probe success closes it and clears the failure count: the next
+	// trip needs a full Threshold of new failures.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("failure count not cleared on close: state %v after 2 failures", b.State())
+	}
+}
+
+// TestBreakerStateStrings pins the operator-facing names.
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "invalid",
+	} {
+		if s.String() != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, s, want)
+		}
+	}
+}

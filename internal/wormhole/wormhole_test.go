@@ -30,10 +30,10 @@ func ringPackets(n, eta, flits int, dateline bool) []Packet {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(topology.Cycle(4), 0); err == nil {
+	if _, err := New(topology.MustCycle(4), 0); err == nil {
 		t.Fatal("0 virtual channels accepted")
 	}
-	n, err := New(topology.Cycle(4), 1)
+	n, err := New(topology.MustCycle(4), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestSinglePacketCompletes(t *testing.T) {
-	net, _ := New(topology.Cycle(8), 1)
+	net, _ := New(topology.MustCycle(8), 1)
 	res, err := net.Run(ringPackets(8, 8, 2, false), 1000)
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestSinglePacketCompletes(t *testing.T) {
 // packet behind needs — so even a single virtual channel never deadlocks.
 func TestEtaEqualsMuNeverDeadlocks(t *testing.T) {
 	for _, mu := range []int{1, 2, 4} {
-		net, _ := New(topology.Cycle(24), 1)
+		net, _ := New(topology.MustCycle(24), 1)
 		res, err := net.Run(ringPackets(24, mu, mu, false), 10000)
 		if err != nil {
 			t.Fatal(err)
@@ -87,7 +87,7 @@ func TestEtaEqualsMuNeverDeadlocks(t *testing.T) {
 // wrap the ring and form a cyclic wait — the hazard Dally & Seitz's
 // virtual channels exist to break.
 func TestOversubscribedRingDeadlocks(t *testing.T) {
-	net, _ := New(topology.Cycle(8), 1)
+	net, _ := New(topology.MustCycle(8), 1)
 	res, err := net.Run(ringPackets(8, 1, 2, false), 10000)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +104,7 @@ func TestOversubscribedRingDeadlocks(t *testing.T) {
 // rule completes: packets that crossed node 0 switch to VC 0, so the
 // channel dependency graph is acyclic.
 func TestDatelineVirtualChannelsPreventDeadlock(t *testing.T) {
-	net, _ := New(topology.Cycle(8), 2)
+	net, _ := New(topology.MustCycle(8), 2)
 	res, err := net.Run(ringPackets(8, 1, 2, true), 100000)
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestDatelineVirtualChannelsPreventDeadlock(t *testing.T) {
 // stays on one class), showing it is the dateline switch, not the extra
 // buffering, that breaks the cycle.
 func TestTwoVCsWithoutDatelineStillDeadlock(t *testing.T) {
-	net, _ := New(topology.Cycle(8), 2)
+	net, _ := New(topology.MustCycle(8), 2)
 	res, err := net.Run(ringPackets(8, 1, 2, false), 10000)
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +135,7 @@ func TestTwoVCsWithoutDatelineStillDeadlock(t *testing.T) {
 // cycles at η = μ on one virtual channel, dedicated network — the paper's
 // "dedicated mode" wormhole claim.
 func TestIHCWormholeDedicated(t *testing.T) {
-	g := topology.SquareTorus(4)
+	g := topology.MustSquareTorus(4)
 	cycles, err := hamilton.Decompose(g)
 	if err != nil {
 		t.Fatal(err)
