@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick transport-quick q14-smoke verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick transport-quick soak-quick q14-smoke verify
 
 all: verify
 
@@ -42,15 +42,17 @@ bench-fault:
 # Short fuzz smoke over the voter, the MAC verify path, the
 # temporal-plan validator/compiler (the spots that take adversarial
 # bytes or adversarial plans), the metrics merge (worker-count
-# independence of the observability aggregates), and the calendar queue
-# (differential pop-order equivalence against the reference heap),
-# mirroring the CI budget.
+# independence of the observability aggregates), the calendar queue
+# (differential pop-order equivalence against the reference heap), and
+# the transport wire codec (decode never panics, accepted frames
+# re-encode canonically), mirroring the CI budget.
 fuzz:
 	$(GO) test -fuzz=FuzzVoteUnsigned -fuzztime=15s ./internal/reliable
 	$(GO) test -fuzz=FuzzKeyringVerify -fuzztime=15s ./internal/reliable
 	$(GO) test -fuzz=FuzzTemporalPlan -fuzztime=15s ./internal/fault
 	$(GO) test -fuzz=FuzzMetricsMerge -fuzztime=15s ./internal/observe
 	$(GO) test -fuzz=FuzzCalendarQueue -fuzztime=15s ./internal/simnet
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=15s ./internal/transport
 
 # Engine-regression smoke: one measured Q10 ATA run; fails if
 # allocs/event exceeds 10x, or ns/event exceeds 1.15x (best of three
@@ -123,9 +125,21 @@ transport-quick:
 	$(GO) run ./cmd/ihcd -launch
 	$(GO) run ./cmd/ihcd -launch -faultfree
 
+# Quick streaming soak (≤60s wall, usually ~4s): a Q3 loopback cluster
+# streams 24 pipelined epochs through the bounded ingress queues while
+# the chaos layer drops/dups/corrupts/delays frames, node 6 is killed
+# mid-stream and cold-restarts into the epoch-resume handshake, and
+# link {1,3} is partitioned for a window. The verdict requires every
+# survivor to hold the exact γ-copy ledger postcondition on every
+# epoch, the rejoiner to catch up all missed epochs, and zero
+# high-priority sheds; the watchdog turns a hang into exit 4 instead
+# of a stuck CI job.
+soak-quick:
+	$(GO) run ./cmd/ihcd -soak -deadline 60s
+
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean),
 # then the engine-allocation smoke, the sharded-engine equivalence
-# smoke, the quick recovery sweep, the quick oracle sweep, and the
-# real-transport multi-process smoke.
-verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick transport-quick
+# smoke, the quick recovery sweep, the quick oracle sweep, the
+# real-transport multi-process smoke, and the streaming chaos soak.
+verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick transport-quick soak-quick

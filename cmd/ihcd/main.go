@@ -21,6 +21,20 @@
 // proxy on every directed link (chaos mode), SIGKILLs the crash victim
 // mid-round, collects every child's RESULT, asserts the γ-copy ledger
 // postcondition on all survivors, and exits nonzero on any violation.
+//
+// Soak mode streams pipelined epochs over the in-process loopback mesh
+// with the full chaos script — background frame faults, a partition
+// window, and one node killed mid-stream and restarted cold (rejoining
+// via the epoch handshake):
+//
+//	ihcd -soak -epochs 24 -period 150ms
+//
+// It prints the streaming gauges (throughput, shed counts, latency
+// percentiles) and exits nonzero unless every node completed every
+// epoch with the exact γ-copy ledger postcondition.
+//
+// Both -launch and -soak accept -deadline: a hard wall-clock budget
+// enforced by a watchdog that kills any child processes and exits 4.
 package main
 
 import (
@@ -36,15 +50,19 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"ihc/internal/chaos"
+	"ihc/internal/cluster"
 	"ihc/internal/core"
 	"ihc/internal/fault"
 	"ihc/internal/hamilton"
+	"ihc/internal/observe"
 	"ihc/internal/reliable"
 	"ihc/internal/simnet"
+	"ihc/internal/stream"
 	"ihc/internal/topology"
 	"ihc/internal/transport"
 )
@@ -52,6 +70,39 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ihcd: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// watchdog enforces a hard wall-clock budget on an orchestration mode:
+// when the deadline expires it kills every registered child process and
+// exits 4 — a distinct code so CI can tell "hung" from "failed".
+type watchdog struct {
+	mu    sync.Mutex
+	kills []func()
+}
+
+// add registers a cleanup to run on expiry (child kill, proxy close).
+func (w *watchdog) add(f func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.kills = append(w.kills, f)
+}
+
+// arm starts the timer; d <= 0 disables the watchdog.
+func (w *watchdog) arm(d time.Duration, label string) {
+	if d <= 0 {
+		return
+	}
+	go func() {
+		time.Sleep(d)
+		w.mu.Lock()
+		kills := append([]func(){}, w.kills...)
+		w.mu.Unlock()
+		fmt.Fprintf(os.Stderr, "ihcd: %s exceeded -deadline %s; killing children and exiting 4\n", label, d)
+		for _, f := range kills {
+			f()
+		}
+		os.Exit(4)
+	}()
 }
 
 // result is the JSON verdict a daemon prints after its round.
@@ -84,11 +135,22 @@ func main() {
 		seed      = flag.Int64("seed", 99, "chaos / retry-jitter seed")
 		maxAtt    = flag.Int("max-attempts", 30, "repair pulls per missing copy before giving up")
 		timeout   = flag.Duration("timeout", 30*time.Second, "round timeout")
+		soak      = flag.Bool("soak", false, "stream pipelined epochs over loopback with kill/restart + partition chaos")
+		epochs    = flag.Int("epochs", 24, "soak mode: epochs to stream")
+		period    = flag.Duration("period", 150*time.Millisecond, "soak mode: epoch cadence")
+		inflight  = flag.Int("max-inflight", 2, "soak mode: concurrently open epochs")
+		deadline  = flag.Duration("deadline", 0, "launch/soak: hard wall-clock budget; on expiry children are killed and the exit code is 4 (0 = off)")
 	)
 	flag.Parse()
 
+	wd := &watchdog{}
+	if *soak {
+		wd.arm(*deadline, "soak")
+		os.Exit(runSoak(*m, *eta, *epochs, *inflight, *period, *stageDur, *hopLat, *slack, *keySeed, *seed, *maxAtt, *timeout))
+	}
 	if *launch {
-		os.Exit(runLaunch(*m, *eta, *faultfree, *keySeed, *seed, *stageDur, *hopLat, *slack, *maxAtt, *timeout))
+		wd.arm(*deadline, "launch")
+		os.Exit(runLaunch(*m, *eta, *faultfree, *keySeed, *seed, *stageDur, *hopLat, *slack, *maxAtt, *timeout, wd))
 	}
 	if *node < 0 {
 		fail("daemon mode needs -node (or use -launch)")
@@ -227,6 +289,99 @@ func runDaemon(m, eta, self int, listen, peersPath string, epochNano int64, stag
 }
 
 // ---------------------------------------------------------------------------
+// Soak mode
+
+// runSoak streams pipelined epochs over the in-process loopback mesh
+// under the full chaos script: background drop/dup/corrupt/delay on
+// every link, one partition window, and one node killed with zero
+// notice mid-stream and restarted cold — it must rediscover the epoch
+// via the JOIN handshake and catch up through the pull planner. The
+// verdict requires every node to complete every epoch with the exact
+// γ-copy ledger postcondition and zero high-priority sheds.
+func runSoak(m, eta, epochs, inflight int, period, stageDur, hopLat, slack time.Duration, keySeed, seed int64, maxAtt int, timeout time.Duration) int {
+	x, err := buildIHC(m)
+	if err != nil {
+		fail("%v", err)
+	}
+	// The fault script scales with the cadence: kill after 4 epochs,
+	// stay down ~3, partition a non-victim link while the rejoiner is
+	// catching up.
+	killAt := 4 * period
+	downFor := 3 * period
+	partFrom := 9 * period
+	partFor := 3 * period
+	gauges := &observe.StreamGauges{}
+	cfg := cluster.StreamConfig{
+		Config: cluster.Config{
+			IHC: x, Eta: eta, KeySeed: keySeed,
+			StageDur: stageDur, HopLatency: hopLat, Slack: slack,
+			Retry: transport.BackoffConfig{
+				Base: 10 * time.Millisecond, Max: 150 * time.Millisecond,
+				Factor: 1.6, Jitter: 0.2, Seed: seed,
+			},
+			MaxAttempts: maxAtt,
+			Timeout:     timeout,
+			Chaos: &chaos.Config{
+				Seed:     seed,
+				DropRate: 0.02, DupRate: 0.02, CorruptRate: 0.01, DelayRate: 0.05,
+				TickDur: time.Millisecond,
+				Plan: &fault.TemporalPlan{Links: []fault.LinkFault{{
+					U: 1, V: 3,
+					From:  simnet.Time(partFrom / time.Millisecond),
+					Until: simnet.Time((partFrom + partFor) / time.Millisecond),
+				}}},
+			},
+		},
+		Epochs:      epochs,
+		Period:      period,
+		MaxInflight: inflight,
+		Drain:       10 * time.Second,
+		// The load deliberately outruns the low-priority token bucket
+		// (~250 low/s offered against 200/s admitted), so the soak also
+		// exercises overload shedding — which must hit ONLY the low
+		// class; one shed high-priority payload fails the verdict.
+		Ingress: stream.IngressConfig{Rate: 200, Burst: 50},
+		Load:    cluster.LoadSpec{Interval: 3 * time.Millisecond, Bytes: 64, HighEvery: 4},
+		Kill:    &cluster.KillSpec{Node: 6, At: killAt, Downtime: downFor},
+		Gauges:  gauges,
+	}
+	fmt.Printf("ihcd: soaking Q%d: %d epochs @ %s, ≤%d inflight; kill node 6 at %s for %s, partition {1,3} at %s for %s\n",
+		m, epochs, period, inflight, killAt, downFor, partFrom, partFor)
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	start := time.Now()
+	res, err := cluster.RunStream(sigCtx, cfg)
+	if err != nil {
+		fail("soak: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	snap := res.Snapshot
+	fmt.Print(snap.Summary())
+	verdictErr := res.Verify()
+	out := map[string]any{
+		"ok":       verdictErr == nil,
+		"epochs":   epochs,
+		"elapsed":  elapsed.String(),
+		"naks":     res.NaksSent,
+		"snapshot": snap,
+	}
+	if verdictErr != nil {
+		out["err"] = verdictErr.Error()
+	}
+	enc, _ := json.Marshal(out)
+	fmt.Printf("RESULT %s\n", enc)
+	if verdictErr != nil {
+		fmt.Fprintf(os.Stderr, "ihcd: soak FAILED: %v\n", verdictErr)
+		return 1
+	}
+	fmt.Printf("ihcd: soak complete in %s: all %d nodes completed %d epochs (γ-copy exact), %d caught up after the kill, 0 high-priority sheds\n",
+		elapsed.Round(time.Millisecond), x.N(), epochs, snap.EpochsCaughtUp)
+	return 0
+}
+
+// ---------------------------------------------------------------------------
 // Launch mode
 
 type child struct {
@@ -236,7 +391,7 @@ type child struct {
 	done chan error
 }
 
-func runLaunch(m, eta int, faultfree bool, keySeed, seed int64, stageDur, hopLat, slack time.Duration, maxAtt int, timeout time.Duration) int {
+func runLaunch(m, eta int, faultfree bool, keySeed, seed int64, stageDur, hopLat, slack time.Duration, maxAtt int, timeout time.Duration, wd *watchdog) int {
 	x, err := buildIHC(m)
 	if err != nil {
 		fail("%v", err)
@@ -359,6 +514,11 @@ func runLaunch(m, eta int, faultfree bool, keySeed, seed int64, stageDur, hopLat
 		}
 		c := &child{node: nodeID, cmd: cmd, done: make(chan error, 1)}
 		children[nodeID] = c
+		wd.add(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		})
 		go func() {
 			sc := bufio.NewScanner(stdout)
 			sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -84,6 +84,92 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestBackwardsClockMonotonic runs the physical source backwards —
+// NTP step, VM migration, leap smearing gone wrong — mid-sequence.
+// Readings must stay strictly increasing through the regression and
+// recover the wall component only once physical time passes the high
+// water mark again.
+func TestBackwardsClockMonotonic(t *testing.T) {
+	phys := &manual{t: 1000}
+	c := NewAt(phys.now)
+	prev := c.Now()
+	for i, pt := range []int64{900, 500, 100, 999, 1000} {
+		phys.set(pt)
+		for k := 0; k < 3; k++ {
+			ts := c.Now()
+			if !prev.Before(ts) {
+				t.Fatalf("step %d (phys=%d): Now went backwards: %v then %v", i, pt, prev, ts)
+			}
+			if ts.Wall < 1000 {
+				t.Fatalf("step %d: wall component %v regressed below the high water mark", i, ts)
+			}
+			prev = ts
+		}
+		// Update with a stale remote must not regress either.
+		ts := c.Update(Timestamp{Wall: pt - 50, Logical: 9})
+		if !prev.Before(ts) {
+			t.Fatalf("step %d: Update went backwards: %v then %v", i, prev, ts)
+		}
+		prev = ts
+	}
+	// Physical time finally overtakes: wall takes over, logical clears.
+	phys.set(5000)
+	if ts := c.Now(); ts.Wall != 5000 || ts.Logical != 0 {
+		t.Fatalf("after recovery got %v, want 5000.0", ts)
+	}
+}
+
+// TestConcurrentNowUpdateUnique hammers one clock from goroutines
+// mixing Now and Update while the physical source jitters backwards
+// and freezes. Every issued timestamp must be unique (the clock hands
+// out each reading exactly once) and each goroutine's sequence must be
+// strictly increasing. Run under -race this also proves the locking.
+func TestConcurrentNowUpdateUnique(t *testing.T) {
+	phys := &manual{t: 1}
+	c := NewAt(phys.now)
+	const goroutines, per = 8, 2000
+	out := make([][]Timestamp, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				var ts Timestamp
+				switch i % 4 {
+				case 0, 1:
+					ts = c.Now()
+				case 2:
+					ts = c.Update(Timestamp{Wall: int64(i), Logical: uint32(g)})
+				case 3:
+					// Remote from the "future" drags the clock forward.
+					ts = c.Update(Timestamp{Wall: int64(1000 + i), Logical: 2})
+				}
+				out[g] = append(out[g], ts)
+				if i%16 == 0 {
+					// Jitter the physical source, sometimes backwards.
+					phys.set(int64((i * 37) % 500))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]int, goroutines*per)
+	for g, seq := range out {
+		for i := 1; i < len(seq); i++ {
+			if !seq[i-1].Before(seq[i]) {
+				t.Fatalf("goroutine %d: non-increasing %v then %v", g, seq[i-1], seq[i])
+			}
+		}
+		for _, ts := range seq {
+			if prior, dup := seen[ts]; dup {
+				t.Fatalf("timestamp %v issued to goroutines %d and %d", ts, prior, g)
+			}
+			seen[ts] = g
+		}
+	}
+}
+
 func TestConcurrentMonotonic(t *testing.T) {
 	phys := &manual{t: 1}
 	c := NewAt(phys.now)

@@ -175,6 +175,17 @@ func (p *Planner) Pending() int { return p.pending }
 // Done reports whether every expected copy has arrived.
 func (p *Planner) Done() bool { return p.pending == 0 }
 
+// Terminal reports whether the planner has no live work left: every
+// expected copy has either arrived or burned its full attempt budget.
+// Done() distinguishes the happy case; Terminal && !Done means the
+// round ends in an Exhausted verdict. A late Got on an exhausted want
+// still counts it satisfied, so a terminal-failed round can be revived
+// by an unsolicited copy (a rejoining node's late injection) as long
+// as the caller keeps feeding the planner.
+func (p *Planner) Terminal() bool {
+	return p.pending == 0 || p.pending <= len(p.Exhausted())
+}
+
 // Exhausted lists wants that burned MaxAttempts without a copy
 // arriving — the node's final verdict will fail on these.
 func (p *Planner) Exhausted() []Want {

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ihc/internal/observe"
+)
+
+// manualClock lets the token-bucket tests advance time explicitly.
+type manualClock struct{ t time.Time }
+
+func (m *manualClock) now() time.Time { return m.t }
+
+func newTestIngress(cfg IngressConfig) (*Ingress, *manualClock) {
+	mc := &manualClock{t: time.Unix(1000, 0)}
+	in := NewIngress(cfg, nil)
+	in.now = mc.now
+	return in, mc
+}
+
+func TestIngressQueueBoundsShed(t *testing.T) {
+	in, _ := newTestIngress(IngressConfig{HighCap: 2, LowCap: 2})
+	for i := 0; i < 2; i++ {
+		if err := in.Submit([]byte{byte(i)}, High); err != nil {
+			t.Fatalf("high %d: %v", i, err)
+		}
+		if err := in.Submit([]byte{byte(i)}, Low); err != nil {
+			t.Fatalf("low %d: %v", i, err)
+		}
+	}
+	if err := in.Submit([]byte{9}, High); !errors.Is(err, ErrShed) {
+		t.Fatalf("full high queue returned %v, want ErrShed", err)
+	}
+	if err := in.Submit([]byte{9}, Low); !errors.Is(err, ErrShed) {
+		t.Fatalf("full low queue returned %v, want ErrShed", err)
+	}
+	h, l := in.Depth()
+	if h != 2 || l != 2 {
+		t.Fatalf("depth (%d,%d), want (2,2)", h, l)
+	}
+}
+
+func TestIngressTokenBucketShedsLowNotHigh(t *testing.T) {
+	in, mc := newTestIngress(IngressConfig{Rate: 10, Burst: 2})
+	// Burst allows 2 immediately; the third low is shed.
+	for i := 0; i < 2; i++ {
+		if err := in.Submit([]byte{byte(i)}, Low); err != nil {
+			t.Fatalf("burst %d: %v", i, err)
+		}
+	}
+	if err := in.Submit([]byte{9}, Low); !errors.Is(err, ErrShed) {
+		t.Fatalf("rate-limited low returned %v, want ErrShed", err)
+	}
+	// High bypasses the bucket entirely.
+	if err := in.Submit([]byte{9}, High); err != nil {
+		t.Fatalf("high under empty bucket: %v", err)
+	}
+	// A 100ms refill at 10/s buys exactly one more token.
+	mc.t = mc.t.Add(100 * time.Millisecond)
+	if err := in.Submit([]byte{10}, Low); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := in.Submit([]byte{11}, Low); !errors.Is(err, ErrShed) {
+		t.Fatal("second post-refill low admitted; bucket should hold one token")
+	}
+}
+
+func TestIngressDrainHighFirstWithinBudget(t *testing.T) {
+	in, _ := newTestIngress(IngressConfig{MaxBatchBytes: batchHdr + 3*(itemOverhead+4)})
+	for i := 0; i < 3; i++ {
+		if err := in.Submit([]byte{0, 0, 0, byte(i)}, Low); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Submit([]byte{1, 1, 1, 1}, High); err != nil {
+		t.Fatal(err)
+	}
+	items := in.drain()
+	if len(items) != 3 {
+		t.Fatalf("drained %d items into a 3-item budget", len(items))
+	}
+	if !items[0].High {
+		t.Fatal("high-priority item not drained first")
+	}
+	// The item that did not fit stays queued for the next epoch.
+	h, l := in.Depth()
+	if h != 0 || l != 1 {
+		t.Fatalf("post-drain depth (%d,%d), want (0,1)", h, l)
+	}
+	if next := in.drain(); len(next) != 1 {
+		t.Fatalf("second drain got %d items, want the leftover", len(next))
+	}
+}
+
+func TestIngressGaugesCount(t *testing.T) {
+	g := &observe.StreamGauges{}
+	in := NewIngress(IngressConfig{HighCap: 1, LowCap: 1}, g)
+	_ = in.Submit([]byte{1}, High)
+	_ = in.Submit([]byte{2}, High) // shed
+	_ = in.Submit([]byte{3}, Low)
+	in.drain()
+	s := g.Snapshot()
+	if s.SubmittedHigh != 1 || s.SubmittedLow != 1 || s.ShedHigh != 1 {
+		t.Fatalf("snapshot %+v: want 1 high, 1 low submitted, 1 high shed", s)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", s.QueueDepth)
+	}
+}

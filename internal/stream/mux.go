@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// An epoch batch multiplexes many client payloads into the single
+// packet a node injects per (node, epoch): the compaction step that
+// turns the per-round ATA schedule into a streaming service. Layout,
+// little-endian:
+//
+//	count u16 | per item: flags u8 | len u16 | data
+//
+// flag bit 0 marks a high-priority item. An empty batch (count 0) is
+// the heartbeat a node with no queued traffic injects — the schedule
+// runs every epoch regardless, because the γ-copy ledger postcondition
+// is per (source, channel), not per payload.
+//
+// Batches arrive inside HMAC-verified frames, but the codec still
+// bounds-checks every length: a buggy or malicious *signer* must
+// surface as a decode error, never a panic or over-allocation.
+
+// Item is one client payload inside an epoch batch.
+type Item struct {
+	High bool
+	Data []byte
+}
+
+const (
+	batchHdr     = 2
+	itemOverhead = 3
+	maxBatchLen  = 1 << 12
+)
+
+var ErrBatchCorrupt = errors.New("stream: corrupt epoch batch")
+
+// BatchBytes returns the encoded size of a batch holding the given
+// item data lengths — what the ingress drain uses to pack a byte
+// budget exactly.
+func BatchBytes(itemLens []int) int {
+	n := batchHdr
+	for _, l := range itemLens {
+		n += itemOverhead + l
+	}
+	return n
+}
+
+// EncodeBatch serialises items into one epoch payload.
+func EncodeBatch(items []Item) ([]byte, error) {
+	if len(items) > maxBatchLen {
+		return nil, fmt.Errorf("stream: batch of %d items exceeds %d", len(items), maxBatchLen)
+	}
+	n := batchHdr
+	for _, it := range items {
+		if len(it.Data) > 1<<16-1 {
+			return nil, fmt.Errorf("stream: batch item of %d bytes exceeds u16", len(it.Data))
+		}
+		n += itemOverhead + len(it.Data)
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(items)))
+	for _, it := range items {
+		var flags byte
+		if it.High {
+			flags |= 1
+		}
+		b = append(b, flags)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(it.Data)))
+		b = append(b, it.Data...)
+	}
+	return b, nil
+}
+
+// DecodeBatch parses an epoch payload. Every length is validated
+// before use; trailing bytes are an error (a truncated or padded batch
+// must not half-decode).
+func DecodeBatch(b []byte) ([]Item, error) {
+	if len(b) < batchHdr {
+		return nil, ErrBatchCorrupt
+	}
+	count := int(binary.LittleEndian.Uint16(b))
+	if count > maxBatchLen {
+		return nil, ErrBatchCorrupt
+	}
+	items := make([]Item, 0, count)
+	off := batchHdr
+	for i := 0; i < count; i++ {
+		if len(b) < off+itemOverhead {
+			return nil, ErrBatchCorrupt
+		}
+		flags := b[off]
+		if flags > 1 {
+			return nil, ErrBatchCorrupt
+		}
+		l := int(binary.LittleEndian.Uint16(b[off+1:]))
+		off += itemOverhead
+		if len(b) < off+l {
+			return nil, ErrBatchCorrupt
+		}
+		it := Item{High: flags&1 != 0}
+		if l > 0 {
+			it.Data = append([]byte(nil), b[off:off+l]...)
+		}
+		items = append(items, it)
+		off += l
+	}
+	if off != len(b) {
+		return nil, ErrBatchCorrupt
+	}
+	return items, nil
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][]Item{
+		nil, // heartbeat
+		{{High: true, Data: []byte("urgent")}},
+		{{Data: []byte("a")}, {High: true, Data: []byte("b")}, {Data: nil}},
+		{{Data: bytes.Repeat([]byte{0xAB}, 1000)}},
+	}
+	for i, items := range cases {
+		b, err := EncodeBatch(items)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if len(b) != BatchBytes(lensOf(items)) {
+			t.Fatalf("case %d: BatchBytes predicted %d, encoded %d", i, BatchBytes(lensOf(items)), len(b))
+		}
+		got, err := DecodeBatch(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("case %d: %d items round-tripped to %d", i, len(items), len(got))
+		}
+		for j := range got {
+			if got[j].High != items[j].High || !bytes.Equal(got[j].Data, items[j].Data) {
+				t.Fatalf("case %d item %d: got %+v want %+v", i, j, got[j], items[j])
+			}
+		}
+	}
+}
+
+func lensOf(items []Item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = len(it.Data)
+	}
+	return out
+}
+
+func TestBatchDecodeRejectsCorrupt(t *testing.T) {
+	good, err := EncodeBatch([]Item{{Data: []byte("hello")}, {High: true, Data: []byte("world")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		{0x01},             // shorter than the header
+		good[:len(good)-1], // truncated payload
+		append(append([]byte(nil), good...), 0x00), // trailing byte
+	}
+	// Lying count.
+	lie := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(lie, 40)
+	bad = append(bad, lie)
+	// Length pointing past the buffer.
+	lie2 := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(lie2[3:], 60000)
+	bad = append(bad, lie2)
+	// Unknown flag bits.
+	lie3 := append([]byte(nil), good...)
+	lie3[2] = 0x80
+	bad = append(bad, lie3)
+	for i, b := range bad {
+		if _, err := DecodeBatch(b); err == nil {
+			t.Fatalf("case %d: corrupt batch decoded cleanly", i)
+		}
+	}
+}
+
+func TestBatchEncodeLimits(t *testing.T) {
+	tooMany := make([]Item, maxBatchLen+1)
+	if _, err := EncodeBatch(tooMany); err == nil {
+		t.Fatal("oversized batch encoded")
+	}
+	if _, err := EncodeBatch([]Item{{Data: make([]byte, 1<<16)}}); err == nil {
+		t.Fatal("oversized item encoded")
+	}
+}

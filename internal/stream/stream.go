@@ -1,0 +1,838 @@
+// Package stream turns the one-shot wall-clock ATA round into a
+// continuous broadcast service: an unbounded sequence of epochs, each
+// one full IHC all-to-all round, pipelined back-to-back into the η−μ
+// link slack the interleaving schedule leaves idle. Every epoch is
+// HLC-stamped, at most MaxInflight rounds overlap (opening is deferred
+// — backpressure — when the cap is hit), and each node's injection
+// payload is an epoch batch multiplexing many client payloads from a
+// bounded two-class ingress queue with token-bucket admission; under
+// overload low-priority payloads are shed with an explicit ErrShed.
+//
+// The robustness core is the rejoin path: a node killed mid-stream
+// restarts with no state, learns the current epoch from any peer —
+// an explicit JOIN→EPOCH handshake, or passively from the epoch field
+// of any signed frame — then catches up the rounds it missed through
+// the same wall-clock NAK/pull planner the one-shot protocol repairs
+// with, while late-injecting its own copies for those rounds so that
+// the survivors' stalled epochs complete too. Every completed epoch
+// satisfies the exact γ-copy ledger postcondition, kill or no kill.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"ihc/internal/core"
+	"ihc/internal/hlc"
+	"ihc/internal/observe"
+	"ihc/internal/reliable"
+	"ihc/internal/repair"
+	"ihc/internal/simnet"
+	"ihc/internal/topology"
+	"ihc/internal/transport"
+)
+
+// Config shapes one streaming node.
+type Config struct {
+	IHC      *core.IHC
+	Eta      int
+	Self     topology.Node
+	Endpoint transport.Endpoint
+	Keyring  *reliable.Keyring
+	// Epoch0 is the cluster-agreed wall-clock start of epoch 0's stage
+	// 0; epoch e is scheduled at Epoch0 + e·Period.
+	Epoch0 time.Time
+	// Period is the epoch cadence. Pipelining happens when Period is
+	// shorter than a full round (stages + relay + repair tail): up to
+	// MaxInflight rounds overlap in the η−μ link slack.
+	Period time.Duration
+	// StageDur / HopLatency / Slack are the per-round timing model,
+	// exactly as in the one-shot transport.NodeConfig.
+	StageDur   time.Duration
+	HopLatency time.Duration
+	Slack      time.Duration
+	// Retry shapes pull backoff; MaxAttempts bounds pulls per missing
+	// copy. Streaming defaults are more patient than one-shot (the
+	// provider may be a killed node that has not rejoined yet).
+	Retry       transport.BackoffConfig
+	MaxAttempts int
+	// MaxInflight caps concurrently open (live, non-stalled) epochs;
+	// epoch opening is deferred while the cap is hit. Default 2.
+	MaxInflight int
+	// Retain is how many epochs of accepted-payload store are kept
+	// after an epoch closes, to serve late pulls from rejoiners and
+	// stragglers. Also bounds the rejoin catch-up horizon. Default 64.
+	Retain int
+	// Epochs stops the stream after this many epochs (0 = run until
+	// ctx is cancelled).
+	Epochs int
+	// Drain bounds how long after the last scheduled epoch the node
+	// waits for stalled epochs to revive before finalizing them as
+	// failed. Default 5s.
+	Drain time.Duration
+	// Join starts the node with no epoch base: it discovers the
+	// current epoch from peers (JOIN handshake / any signed frame) and
+	// catches up missed rounds within the Retain horizon.
+	Join bool
+	// Ingress shapes client-payload admission.
+	Ingress IngressConfig
+	// Payload, when set, bypasses the ingress/mux path: epoch e's
+	// injection payload is exactly Payload(e). The equivalence tests
+	// use it to pin streaming against repeated one-shot rounds.
+	Payload func(epoch uint32) []byte
+	// Clock is the node's HLC; fresh if nil. Gauges may be shared by
+	// the whole cluster (atomic deltas); nil is a no-op sink.
+	Gauges *observe.StreamGauges
+	Clock  *hlc.Clock
+	// CollectPayloads retains delivered payload bytes in EpochResults
+	// (tests); CollectCopies retains per-source channel sets.
+	CollectPayloads bool
+}
+
+func (c Config) defaulted() (Config, error) {
+	if c.IHC == nil || c.Endpoint == nil || c.Keyring == nil {
+		return c, fmt.Errorf("stream: config needs IHC, Endpoint, and Keyring")
+	}
+	if c.Eta < 1 || c.Eta > c.IHC.N() {
+		return c, fmt.Errorf("stream: eta %d outside [1,%d]", c.Eta, c.IHC.N())
+	}
+	if c.Period <= 0 {
+		return c, fmt.Errorf("stream: Period must be positive")
+	}
+	if c.StageDur <= 0 {
+		return c, fmt.Errorf("stream: StageDur must be positive")
+	}
+	if c.Slack <= 0 {
+		c.Slack = c.StageDur
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 60
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2
+	}
+	if c.Retain <= 0 {
+		c.Retain = 64
+	}
+	if c.Drain <= 0 {
+		c.Drain = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = hlc.New()
+	}
+	return c, nil
+}
+
+// EpochResult is one node's verdict for one epoch.
+type EpochResult struct {
+	Epoch     uint32
+	Node      topology.Node
+	Completed bool // exact γ-copy postcondition reached
+	CatchUp   bool // recovered after a rejoin, not live participation
+	LedgerErr error
+	Latency   time.Duration // scheduled start → local completion (live epochs)
+	Repaired  int           // copies that arrived via the pull path
+	Items     int           // client payloads delivered across all sources
+	// Copies[s] lists the channels source s's copies arrived on;
+	// Payloads maps each (source, channel) to its delivered payload
+	// bytes (CollectPayloads only).
+	Copies   map[topology.Node][]uint8
+	Payloads map[repair.Want][]byte
+}
+
+// Result is a streaming node's final accounting.
+type Result struct {
+	Self     topology.Node
+	Epochs   []EpochResult
+	NaksSent int
+	Stats    transport.EndpointStats
+}
+
+// epochState is one open round's protocol state.
+type epochState struct {
+	epoch     uint32
+	scheduled time.Time // Epoch0 + e·Period
+	started   time.Time // actual local open (injection base)
+	planner   *repair.Planner
+	store     map[repair.Want][]byte
+	ledger    *simnet.CopyLedger
+	copies    map[topology.Node][]uint8
+	injected  []bool
+	payload   []byte // own injection payload (epoch batch)
+	repaired  int
+	catchup   bool
+	stalled   bool // every pending want exhausted; waiting on a revival
+}
+
+// Node runs the streaming protocol on one endpoint. Construct with
+// NewNode, feed client payloads through Ingress(), drive with Run.
+// All protocol state is owned by the Run goroutine; Ingress and Gauges
+// are the only cross-goroutine surfaces.
+type Node struct {
+	cfg     Config
+	clock   *hlc.Clock
+	ingress *Ingress
+
+	n, gamma  int
+	cycleOf   [][]topology.Node
+	neighbors []topology.Node
+
+	open     map[uint32]*epochState
+	retained map[uint32]map[repair.Want][]byte // closed epochs' stores, for serving pulls
+	next     uint32                            // next epoch to open
+	highest  uint32                            // highest epoch seen in any signed frame
+	joined   bool                              // epoch base known
+	joinIdx  int                               // JOIN target rotation
+	joinAt   time.Time
+
+	results  []EpochResult
+	naksSent int
+}
+
+// NewNode validates cfg and prepares the streaming state.
+func NewNode(cfg Config) (*Node, error) {
+	cfg, err := cfg.defaulted()
+	if err != nil {
+		return nil, err
+	}
+	nd := &Node{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		ingress:  NewIngress(cfg.Ingress, cfg.Gauges),
+		n:        cfg.IHC.N(),
+		gamma:    cfg.IHC.Gamma(),
+		open:     make(map[uint32]*epochState),
+		retained: make(map[uint32]map[repair.Want][]byte),
+		joined:   !cfg.Join,
+	}
+	for j := 0; j < nd.gamma; j++ {
+		nd.cycleOf = append(nd.cycleOf, []topology.Node(cfg.IHC.DirectedCycle(j)))
+	}
+	nd.neighbors = cfg.IHC.Graph().Neighbors(cfg.Self)
+	return nd, nil
+}
+
+// Ingress returns the node's client-payload admission queue.
+func (nd *Node) Ingress() *Ingress { return nd.ingress }
+
+func (nd *Node) scheduled(e uint32) time.Time {
+	return nd.cfg.Epoch0.Add(time.Duration(e) * nd.cfg.Period)
+}
+
+func (nd *Node) routeOf(s topology.Node, j int) []topology.Node {
+	c := nd.cycleOf[j]
+	p := nd.cfg.IHC.ID(j, s)
+	route := make([]topology.Node, nd.n)
+	for k := 0; k < nd.n; k++ {
+		route[k] = c[(p+k)%nd.n]
+	}
+	return route
+}
+
+func (nd *Node) stageOf(s topology.Node, j int) int {
+	return nd.cfg.IHC.ID(j, s) % nd.cfg.Eta
+}
+
+// liveOpen counts open epochs against the MaxInflight cap. Stalled
+// epochs (all pending pulls exhausted, waiting on a rejoiner's late
+// injection) do not hold a pipeline slot — otherwise a dead peer
+// would wedge the whole stream instead of just its own rounds — and
+// neither do catch-up epochs, which are repair traffic, not live load:
+// a rejoiner must resume current rounds immediately, or the survivors
+// stall waiting for its new copies while it replays old ones.
+func (nd *Node) liveOpen() int {
+	live := 0
+	for _, st := range nd.open {
+		if !st.stalled && !st.catchup {
+			live++
+		}
+	}
+	return live
+}
+
+// openEpochIDs returns the open set in ascending epoch order, for
+// deterministic iteration.
+func (nd *Node) openEpochIDs() []uint32 {
+	ids := make([]uint32, 0, len(nd.open))
+	for e := range nd.open {
+		ids = append(ids, e)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// openEpoch creates epoch e's state and registers its expected copies.
+// catchup epochs (rejoin recovery) get immediate pull deadlines and
+// immediate own-copy injection; live epochs follow the stage schedule
+// from effectiveStart = max(scheduled, now).
+func (nd *Node) openEpoch(e uint32, now time.Time, catchup bool) *epochState {
+	start := nd.scheduled(e)
+	if start.Before(now) {
+		start = now
+	}
+	bo := transport.NewBackoff(nd.cfg.Retry)
+	st := &epochState{
+		epoch:     e,
+		scheduled: nd.scheduled(e),
+		started:   start,
+		planner: repair.NewPlanner(repair.PullConfig{
+			MaxAttempts: nd.cfg.MaxAttempts,
+			Delay:       func(int) time.Duration { return bo.Next() },
+		}),
+		store:    make(map[repair.Want][]byte),
+		ledger:   simnet.NewCopyLedger(nd.n),
+		copies:   make(map[topology.Node][]uint8),
+		injected: make([]bool, nd.cfg.Eta),
+		catchup:  catchup,
+	}
+	// Injection payload: the ingress batch drained at open (the
+	// compaction step), or the test hook, or — for catch-up rounds,
+	// whose original client payloads died with the process — an empty
+	// heartbeat batch.
+	switch {
+	case nd.cfg.Payload != nil:
+		st.payload = nd.cfg.Payload(e)
+	case catchup:
+		st.payload, _ = EncodeBatch(nil)
+	default:
+		st.payload, _ = EncodeBatch(nd.ingress.drain())
+	}
+	for j := 0; j < nd.gamma; j++ {
+		c := nd.cycleOf[j]
+		myPos := nd.cfg.IHC.ID(j, nd.cfg.Self)
+		pred := c[(myPos+nd.n-1)%nd.n]
+		providers := []topology.Node{pred}
+		for _, nb := range nd.neighbors {
+			if nb != pred {
+				providers = append(providers, nb)
+			}
+		}
+		for s := 0; s < nd.n; s++ {
+			src := topology.Node(s)
+			if src == nd.cfg.Self {
+				continue
+			}
+			var deadline time.Time
+			if catchup {
+				deadline = now // the round is long past; pull immediately
+			} else {
+				hops := (myPos - nd.cfg.IHC.ID(j, src) + nd.n) % nd.n
+				deadline = st.started.
+					Add(time.Duration(nd.stageOf(src, j)) * nd.cfg.StageDur).
+					Add(time.Duration(hops) * nd.cfg.HopLatency).
+					Add(nd.cfg.Slack)
+			}
+			st.planner.Expect(repair.Want{Source: src, Channel: uint8(j)}, deadline, providers)
+		}
+	}
+	nd.open[e] = st
+	if e >= nd.next {
+		nd.next = e + 1
+	}
+	nd.cfg.Gauges.EpochOpened()
+	if catchup {
+		for stg := 0; stg < nd.cfg.Eta; stg++ {
+			nd.injectStage(st, stg)
+		}
+	}
+	return st
+}
+
+// Run executes the stream until cfg.Epochs rounds have closed (plus
+// the drain window for stragglers) or ctx is cancelled. The error is
+// non-nil only for transport-level failures or cancellation; per-epoch
+// verdicts live in the Result.
+func (nd *Node) Run(ctx context.Context) (*Result, error) {
+	timer := time.NewTimer(time.Millisecond)
+	defer timer.Stop()
+	for {
+		nd.step(time.Now())
+		if nd.finished(time.Now()) {
+			return nd.result(), nil
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(nd.wakeIn())
+		select {
+		case <-ctx.Done():
+			return nd.result(), ctx.Err()
+		case <-timer.C:
+		case body, ok := <-nd.cfg.Endpoint.Recv():
+			if !ok {
+				return nd.result(), fmt.Errorf("stream: endpoint closed under node %d", nd.cfg.Self)
+			}
+			nd.handle(body)
+		}
+	}
+}
+
+// finished reports whether a bounded stream is done: every scheduled
+// epoch opened and closed, or the drain window after the last
+// scheduled round expired with only stalled epochs left.
+func (nd *Node) finished(now time.Time) bool {
+	if nd.cfg.Epochs <= 0 {
+		return false
+	}
+	if nd.joined && int(nd.next) >= nd.cfg.Epochs && len(nd.open) == 0 {
+		return true
+	}
+	drainBy := nd.scheduled(uint32(nd.cfg.Epochs)).Add(nd.cfg.Drain)
+	if now.After(drainBy) {
+		for _, e := range nd.openEpochIDs() {
+			nd.finalize(nd.open[e], false, now)
+		}
+		return true
+	}
+	return false
+}
+
+// step runs all timer-driven work due at now.
+func (nd *Node) step(now time.Time) {
+	if !nd.joined {
+		nd.stepJoin(now)
+		return
+	}
+	// Open live epochs: wall-clock schedule plus HLC-carried
+	// fast-forward (highest signed epoch seen), gated by MaxInflight.
+	for int(nd.next) < nd.cfg.Epochs || nd.cfg.Epochs <= 0 {
+		if nd.liveOpen() >= nd.cfg.MaxInflight {
+			break
+		}
+		if now.Before(nd.scheduled(nd.next)) && nd.highest < nd.next {
+			break
+		}
+		nd.openEpoch(nd.next, now, false)
+	}
+	for _, e := range nd.openEpochIDs() {
+		st := nd.open[e]
+		// Stage injections due by the local schedule.
+		elapsed := now.Sub(st.started)
+		for stg := 0; stg < nd.cfg.Eta; stg++ {
+			if !st.injected[stg] && elapsed >= time.Duration(stg)*nd.cfg.StageDur {
+				nd.injectStage(st, stg)
+			}
+		}
+		// Repair pulls due.
+		for _, pull := range st.planner.Due(now, nd.cfg.Endpoint.PeerDown) {
+			nd.sendNak(st.epoch, pull)
+		}
+		if st.planner.Done() {
+			nd.finalize(st, true, now)
+			continue
+		}
+		if st.planner.Terminal() && !st.stalled {
+			// Out of pull budget with copies still missing (the
+			// provider is probably dead). Release the pipeline slot
+			// and wait: a rejoiner's late injection can still revive
+			// and complete this round.
+			st.stalled = true
+		}
+		// Epochs that fell out of the retain horizon can never be
+		// revived (peers have dropped their stores); fail them.
+		if st.stalled && nd.next > uint32(nd.cfg.Retain) && st.epoch < nd.next-uint32(nd.cfg.Retain) {
+			nd.finalize(st, false, now)
+		}
+	}
+}
+
+// stepJoin drives the rejoin handshake: rotate JOIN requests across
+// neighbors until any signed frame tells us the current epoch.
+func (nd *Node) stepJoin(now time.Time) {
+	if now.Before(nd.joinAt) {
+		return
+	}
+	target := nd.neighbors[nd.joinIdx%len(nd.neighbors)]
+	nd.joinIdx++
+	nd.joinAt = now.Add(nd.joinInterval())
+	f := &transport.Frame{Kind: transport.FrameJoin, From: nd.cfg.Self, Source: nd.cfg.Self, HLC: nd.clock.Now()}
+	nd.cfg.Endpoint.Send(target, f)
+	nd.cfg.Gauges.Join()
+}
+
+func (nd *Node) joinInterval() time.Duration {
+	iv := nd.cfg.Period / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// adoptEpoch is the rejoin resolution: a signed frame proved the
+// stream has reached epoch e. Resume live participation at e+1 and
+// open catch-up rounds for the missed epochs inside the retain
+// horizon.
+func (nd *Node) adoptEpoch(e uint32, now time.Time) {
+	nd.joined = true
+	first := uint32(0)
+	if e+1 > uint32(nd.cfg.Retain) {
+		first = e + 1 - uint32(nd.cfg.Retain)
+	}
+	for miss := first; miss <= e; miss++ {
+		if nd.cfg.Epochs > 0 && int(miss) >= nd.cfg.Epochs {
+			break
+		}
+		nd.openEpoch(miss, now, true)
+	}
+	if nd.next <= e {
+		nd.next = e + 1
+	}
+}
+
+// wakeIn returns how long the event loop may sleep.
+func (nd *Node) wakeIn() time.Duration {
+	const idle = 250 * time.Millisecond
+	now := time.Now()
+	wake := now.Add(idle)
+	if !nd.joined {
+		if nd.joinAt.Before(wake) {
+			wake = nd.joinAt
+		}
+	} else {
+		if (nd.cfg.Epochs <= 0 || int(nd.next) < nd.cfg.Epochs) && nd.liveOpen() < nd.cfg.MaxInflight {
+			if t := nd.scheduled(nd.next); t.Before(wake) {
+				wake = t
+			}
+		}
+		for _, st := range nd.open {
+			for stg := 0; stg < nd.cfg.Eta; stg++ {
+				if !st.injected[stg] {
+					if t := st.started.Add(time.Duration(stg) * nd.cfg.StageDur); t.Before(wake) {
+						wake = t
+					}
+					break
+				}
+			}
+			if t, ok := st.planner.NextWake(); ok && t.Before(wake) {
+				wake = t
+			}
+		}
+	}
+	d := time.Until(wake)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// injectStage emits this node's own copies of one epoch scheduled for
+// stage stg.
+func (nd *Node) injectStage(st *epochState, stg int) {
+	st.injected[stg] = true
+	for j := 0; j < nd.gamma; j++ {
+		if nd.stageOf(nd.cfg.Self, j) != stg {
+			continue
+		}
+		w := repair.Want{Source: nd.cfg.Self, Channel: uint8(j)}
+		f := &transport.Frame{
+			Kind:    transport.FrameData,
+			From:    nd.cfg.Self,
+			Source:  nd.cfg.Self,
+			Epoch:   st.epoch,
+			Channel: uint8(j),
+			Stage:   uint8(stg),
+			Route:   nd.routeOf(nd.cfg.Self, j),
+			Payload: st.payload,
+		}
+		if err := transport.SignFrame(nd.cfg.Keyring, f); err != nil {
+			continue
+		}
+		if _, dup := st.store[w]; !dup {
+			st.store[w] = st.payload
+		}
+		nd.forward(st.epoch, f, 0)
+	}
+}
+
+// forward sends f's next hop, if any remains.
+func (nd *Node) forward(epoch uint32, f *transport.Frame, holder int) {
+	if holder+1 >= len(f.Route) {
+		return
+	}
+	out := *f
+	out.From = nd.cfg.Self
+	out.Epoch = epoch
+	out.Hop = uint16(holder)
+	out.HLC = nd.clock.Now()
+	nd.cfg.Endpoint.Send(f.Route[holder+1], &out)
+}
+
+// handle processes one raw inbound frame body.
+func (nd *Node) handle(body []byte) {
+	f, err := transport.DecodeFrame(body)
+	if err != nil {
+		return
+	}
+	nd.clock.Update(f.HLC)
+	ok, err := transport.VerifyFrame(nd.cfg.Keyring, f)
+	if err != nil || !ok {
+		return
+	}
+	now := time.Now()
+	// Epoch learning: every *signed* frame carries an authenticated
+	// epoch. JOIN/NAK/MISS are unsigned and must not fast-forward us.
+	signed := f.Kind == transport.FrameData || f.Kind == transport.FrameRepair || f.Kind == transport.FrameEpoch
+	if signed {
+		if f.Epoch > nd.highest {
+			nd.highest = f.Epoch
+		}
+		if !nd.joined {
+			nd.adoptEpoch(f.Epoch, now)
+		}
+	}
+	switch f.Kind {
+	case transport.FrameData, transport.FrameRepair:
+		nd.acceptCopy(f, now)
+	case transport.FrameNak:
+		nd.serveNak(f)
+	case transport.FrameMiss:
+		if st, ok := nd.open[f.Epoch]; ok {
+			st.planner.Miss(repair.Want{Source: f.Source, Channel: f.Channel}, now)
+		}
+	case transport.FrameJoin:
+		nd.serveJoin(f)
+	case transport.FrameEpoch:
+		// Learning already happened above; nothing else to do.
+	}
+}
+
+// acceptCopy ingests a DATA or REPAIR frame for its epoch.
+func (nd *Node) acceptCopy(f *transport.Frame, now time.Time) {
+	if int(f.Channel) >= nd.gamma || f.Source == nd.cfg.Self {
+		return
+	}
+	st, isOpen := nd.open[f.Epoch]
+	if !isOpen {
+		if _, closed := nd.retained[f.Epoch]; closed {
+			return // late duplicate for a finished round
+		}
+		if !nd.joined || f.Epoch < nd.next {
+			return // round from before our join horizon: not ours to track
+		}
+		// A future epoch arrived before our wall clock opened it —
+		// HLC fast-forward. Respect the pipeline cap: if we are full,
+		// drop; the schedule or a pull will bring it back.
+		if nd.liveOpen() >= nd.cfg.MaxInflight {
+			return
+		}
+		st = nd.openEpoch(f.Epoch, now, false)
+	}
+	// A frame from stage k of this epoch proves the cluster reached
+	// stage k: start our own ≤k injections now.
+	for stg := 0; stg <= int(f.Stage) && stg < nd.cfg.Eta; stg++ {
+		if !st.injected[stg] {
+			nd.injectStage(st, stg)
+		}
+	}
+	w := repair.Want{Source: f.Source, Channel: f.Channel}
+	if _, dup := st.store[w]; dup {
+		return
+	}
+	st.store[w] = f.Payload
+	st.ledger.Add(nd.cfg.Self, f.Source)
+	st.copies[f.Source] = append(st.copies[f.Source], f.Channel)
+	if first := st.planner.Got(w); first && f.Kind == transport.FrameRepair {
+		st.repaired++
+		nd.cfg.Gauges.Repaired()
+	}
+	holder := int(f.Hop) + 1
+	if holder < len(f.Route) && f.Route[holder] == nd.cfg.Self {
+		nd.forward(st.epoch, f, holder)
+	}
+	if st.planner.Done() {
+		nd.finalize(st, true, now)
+	}
+}
+
+// serveNak answers a pull against the epoch's store — open or
+// retained — with a REPAIR, or a MISS if we do not hold the copy.
+func (nd *Node) serveNak(f *transport.Frame) {
+	w := repair.Want{Source: f.Source, Channel: f.Channel}
+	requester := f.From
+	var payload []byte
+	var held bool
+	if st, ok := nd.open[f.Epoch]; ok {
+		payload, held = st.store[w]
+	} else if store, ok := nd.retained[f.Epoch]; ok {
+		payload, held = store[w]
+	}
+	if !held {
+		miss := &transport.Frame{
+			Kind: transport.FrameMiss, From: nd.cfg.Self,
+			Source: f.Source, Epoch: f.Epoch, Channel: f.Channel, HLC: nd.clock.Now(),
+		}
+		nd.cfg.Endpoint.Send(requester, miss)
+		return
+	}
+	route := nd.routeOf(w.Source, int(w.Channel))
+	hop := 0
+	for i, v := range route {
+		if v == requester {
+			hop = i - 1
+			break
+		}
+	}
+	rep := &transport.Frame{
+		Kind:    transport.FrameRepair,
+		From:    nd.cfg.Self,
+		Source:  w.Source,
+		Epoch:   f.Epoch,
+		Channel: w.Channel,
+		Stage:   uint8(nd.stageOf(w.Source, int(w.Channel))),
+		Hop:     uint16(hop),
+		HLC:     nd.clock.Now(),
+		Route:   route,
+		Payload: payload,
+	}
+	if err := transport.SignFrame(nd.cfg.Keyring, rep); err != nil {
+		return
+	}
+	nd.cfg.Endpoint.Send(requester, rep)
+}
+
+// serveJoin answers a rejoiner's epoch query with a signed EPOCH
+// response carrying the highest round we know of.
+func (nd *Node) serveJoin(f *transport.Frame) {
+	if !nd.joined || nd.next == 0 {
+		return // we do not know the epoch either
+	}
+	cur := nd.next - 1
+	if nd.highest > cur {
+		cur = nd.highest
+	}
+	rep := &transport.Frame{
+		Kind:   transport.FrameEpoch,
+		From:   nd.cfg.Self,
+		Source: nd.cfg.Self,
+		Epoch:  cur,
+		HLC:    nd.clock.Now(),
+	}
+	if err := transport.SignFrame(nd.cfg.Keyring, rep); err != nil {
+		return
+	}
+	nd.cfg.Endpoint.Send(f.From, rep)
+}
+
+// sendNak emits one planned pull for one epoch.
+func (nd *Node) sendNak(epoch uint32, p repair.Pull) {
+	nd.naksSent++
+	nd.cfg.Gauges.Nak()
+	f := &transport.Frame{
+		Kind:    transport.FrameNak,
+		From:    nd.cfg.Self,
+		Source:  p.Source,
+		Epoch:   epoch,
+		Channel: p.Channel,
+		HLC:     nd.clock.Now(),
+	}
+	nd.cfg.Endpoint.Send(p.Provider, f)
+}
+
+// finalize closes one epoch: record the verdict, retain the store for
+// late pulls, release the pipeline slot, GC stores beyond the retain
+// horizon.
+func (nd *Node) finalize(st *epochState, completed bool, now time.Time) {
+	delete(nd.open, st.epoch)
+	res := EpochResult{
+		Epoch:     st.epoch,
+		Node:      nd.cfg.Self,
+		Completed: completed,
+		CatchUp:   st.catchup,
+		LedgerErr: st.ledger.VerifyReceiver(nd.cfg.Self, nd.gamma),
+		Repaired:  st.repaired,
+		Copies:    st.copies,
+	}
+	if completed && !st.catchup {
+		res.Latency = now.Sub(st.scheduled)
+	}
+	items, bytes := 0, 0
+	for w, payload := range st.store {
+		if w.Source == nd.cfg.Self || w.Channel != 0 {
+			continue // count each source's batch once, not γ times
+		}
+		if batch, err := DecodeBatch(payload); err == nil {
+			for _, it := range batch {
+				items++
+				bytes += len(it.Data)
+			}
+		} else if len(payload) > 0 {
+			items++
+			bytes += len(payload)
+		}
+	}
+	res.Items = items
+	if nd.cfg.CollectPayloads {
+		res.Payloads = make(map[repair.Want][]byte, len(st.store))
+		for w, p := range st.store {
+			res.Payloads[w] = p
+		}
+	}
+	nd.results = append(nd.results, res)
+	if completed {
+		nd.cfg.Gauges.Delivered(items, bytes)
+	}
+	lat := res.Latency
+	if st.catchup || !completed {
+		lat = -1
+	}
+	nd.cfg.Gauges.EpochClosed(completed, lat)
+	if st.catchup && completed {
+		nd.cfg.Gauges.CaughtUp()
+	}
+	nd.retained[st.epoch] = st.store
+	if nd.next > uint32(nd.cfg.Retain) {
+		min := nd.next - uint32(nd.cfg.Retain)
+		for e := range nd.retained {
+			if e < min {
+				delete(nd.retained, e)
+			}
+		}
+	}
+}
+
+// Serve keeps answering pulls and JOIN queries from the retained
+// stores after Run returns — a node that finished its own epochs may
+// be a straggler's only provider, and a rejoiner may still need the
+// epoch handshake. Call it after Run; it exits when ctx is cancelled
+// or the endpoint closes.
+func (nd *Node) Serve(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case body, ok := <-nd.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			f, err := transport.DecodeFrame(body)
+			if err != nil {
+				continue
+			}
+			nd.clock.Update(f.HLC)
+			if ok, err := transport.VerifyFrame(nd.cfg.Keyring, f); err != nil || !ok {
+				continue
+			}
+			switch f.Kind {
+			case transport.FrameNak:
+				nd.serveNak(f)
+			case transport.FrameJoin:
+				nd.serveJoin(f)
+			}
+		}
+	}
+}
+
+func (nd *Node) result() *Result {
+	sort.Slice(nd.results, func(i, j int) bool { return nd.results[i].Epoch < nd.results[j].Epoch })
+	return &Result{
+		Self:     nd.cfg.Self,
+		Epochs:   nd.results,
+		NaksSent: nd.naksSent,
+		Stats:    nd.cfg.Endpoint.Stats(),
+	}
+}

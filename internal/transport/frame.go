@@ -28,6 +28,14 @@ const (
 	// hold the copy either); the requester rotates to the next peer
 	// immediately instead of burning the full timeout.
 	FrameMiss
+	// FrameJoin asks a neighbor what epoch the stream has reached — the
+	// first message a restarted node sends. Unsigned, like NAK: it can
+	// only trigger a signed FrameEpoch response, never forge one.
+	FrameJoin
+	// FrameEpoch answers a JOIN with the responder's current epoch in
+	// the Epoch field, HMAC-signed under the responder's key (Source =
+	// responder) so a forged fast-forward fails verification.
+	FrameEpoch
 )
 
 func (k FrameKind) String() string {
@@ -40,6 +48,10 @@ func (k FrameKind) String() string {
 		return "REPAIR"
 	case FrameMiss:
 		return "MISS"
+	case FrameJoin:
+		return "JOIN"
+	case FrameEpoch:
+		return "EPOCH"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", uint8(k))
 	}
@@ -52,6 +64,7 @@ type Frame struct {
 	Kind    FrameKind
 	From    topology.Node // immediate sender (previous hop), not the origin
 	Source  topology.Node // broadcast source the payload belongs to
+	Epoch   uint32        // streaming round the copy belongs to (0 for one-shot runs)
 	Channel uint8         // Hamiltonian cycle index j < γ
 	Stage   uint8         // schedule stage the copy was injected in
 	Hop     uint16        // index into Route of the holder when it sent this frame
@@ -74,17 +87,20 @@ const (
 )
 
 var (
-	ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
+	ErrFrameTooLarge  = errors.New("transport: frame exceeds MaxFrame")
 	ErrFrameTruncated = errors.New("transport: frame body truncated")
 )
 
 // EncodeFrame serialises f into a self-contained body (no length
 // prefix; WriteFrame adds one). Layout, little-endian:
 //
-//	kind u8 | from i32 | source i32 | reserved u32 |
+//	kind u8 | from i32 | source i32 | epoch u32 |
 //	channel u8 | stage u8 | hop u16 | hlcWall i64 | hlcLogical u32 |
 //	routeLen u16 | route i32×routeLen |
 //	payloadLen u16 | payload | macLen u16 | mac
+//
+// The epoch word occupies what older encodings reserved as zero, so
+// one-shot frames (Epoch 0) are byte-identical to the previous layout.
 func EncodeFrame(f *Frame) ([]byte, error) {
 	if len(f.Route) > maxRouteLen {
 		return nil, fmt.Errorf("transport: route length %d exceeds %d", len(f.Route), maxRouteLen)
@@ -100,7 +116,7 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	b = append(b, byte(f.Kind))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.From)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.Source)))
-	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, f.Epoch)
 	b = append(b, f.Channel, f.Stage)
 	b = binary.LittleEndian.AppendUint16(b, f.Hop)
 	b = binary.LittleEndian.AppendUint64(b, uint64(f.HLC.Wall))
@@ -128,12 +144,12 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	}
 	f := &Frame{}
 	f.Kind = FrameKind(b[0])
-	if f.Kind < FrameData || f.Kind > FrameMiss {
+	if f.Kind < FrameData || f.Kind > FrameEpoch {
 		return nil, fmt.Errorf("transport: unknown frame kind %d", b[0])
 	}
 	f.From = topology.Node(int32(binary.LittleEndian.Uint32(b[1:])))
 	f.Source = topology.Node(int32(binary.LittleEndian.Uint32(b[5:])))
-	// b[9:13] reserved
+	f.Epoch = binary.LittleEndian.Uint32(b[9:])
 	f.Channel = b[13]
 	f.Stage = b[14]
 	f.Hop = binary.LittleEndian.Uint16(b[15:])
@@ -173,11 +189,15 @@ func DecodeFrame(b []byte) (*Frame, error) {
 
 // canonicalBytes is what the MAC covers: the fields a relay must not be
 // able to alter undetected. From, Hop, Route, and HLC are deliberately
-// excluded — they legitimately change at every hop; Source, Channel,
-// Stage, and Payload identify the broadcast copy itself.
+// excluded — they legitimately change at every hop; Source, Epoch,
+// Channel, Stage, and Payload identify the broadcast copy itself.
+// Binding the epoch prevents a stored copy from round e being replayed
+// as a fresh copy in round e', and makes EPOCH handshake responses
+// unforgeable.
 func canonicalBytes(f *Frame) []byte {
-	b := make([]byte, 0, 10+len(f.Payload))
+	b := make([]byte, 0, 14+len(f.Payload))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.Source)))
+	b = binary.LittleEndian.AppendUint32(b, f.Epoch)
 	b = append(b, f.Channel, f.Stage)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Payload)))
 	return append(b, f.Payload...)
@@ -194,11 +214,13 @@ func SignFrame(kr *reliable.Keyring, f *Frame) error {
 }
 
 // VerifyFrame reports whether f's MAC is valid under its claimed
-// source's key. Control frames (NAK/MISS) carry no payload MAC and are
-// accepted unsigned — they can only trigger retransmission of signed
-// data, never forge it.
+// source's key. Request-only control frames (NAK/MISS/JOIN) carry no
+// payload MAC and are accepted unsigned — they can only trigger
+// retransmission of signed data (or a signed EPOCH response), never
+// forge it. EPOCH responses are signed: a rejoining node fast-forwards
+// its epoch counter off them, so they must be unforgeable.
 func VerifyFrame(kr *reliable.Keyring, f *Frame) (bool, error) {
-	if f.Kind == FrameNak || f.Kind == FrameMiss {
+	if f.Kind == FrameNak || f.Kind == FrameMiss || f.Kind == FrameJoin {
 		return true, nil
 	}
 	return kr.Verify(reliable.Message{Source: f.Source, Payload: canonicalBytes(f), MAC: f.MAC})

@@ -31,6 +31,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Kind: FrameNak, From: 1, Source: 2, Channel: 0},
 		{Kind: FrameMiss, From: 6, Source: 0, Channel: 1, Stage: 3},
 		{Kind: FrameRepair, Source: 7, Route: []topology.Node{7, 6}, Payload: []byte{1}},
+		{Kind: FrameData, Source: 4, Epoch: 0xDEADBEEF, Route: []topology.Node{4, 5}, Payload: []byte{2}},
+		{Kind: FrameJoin, From: 2, Source: 2},
+		{Kind: FrameEpoch, From: 3, Source: 3, Epoch: 41, MAC: []byte{1, 2}},
 	} {
 		body, err := EncodeFrame(f)
 		if err != nil {
@@ -114,6 +117,26 @@ func TestSignAndVerifyFrame(t *testing.T) {
 	tampered.Channel ^= 1
 	if ok, _ := VerifyFrame(kr, &tampered); ok {
 		t.Fatal("channel tamper passed verification")
+	}
+	// The epoch is MAC-covered: a copy signed for round e must not
+	// replay as a fresh copy in round e+1.
+	tampered = *f
+	tampered.Epoch++
+	if ok, _ := VerifyFrame(kr, &tampered); ok {
+		t.Fatal("cross-epoch replay passed verification")
+	}
+	// EPOCH responses are signed — a rejoiner fast-forwards off them.
+	ep := &Frame{Kind: FrameEpoch, Source: 5, Epoch: 17}
+	if err := SignFrame(kr, ep); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := VerifyFrame(kr, ep); !ok {
+		t.Fatal("signed EPOCH rejected")
+	}
+	forged := *ep
+	forged.Epoch = 99
+	if ok, _ := VerifyFrame(kr, &forged); ok {
+		t.Fatal("forged EPOCH fast-forward passed verification")
 	}
 	// Control frames are accepted unsigned.
 	nak := &Frame{Kind: FrameNak, Source: 5}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzFrameDecode hammers the wire codec with truncated, oversized,
+// bit-flipped, and length-lying bodies. The invariants:
+//
+//   - DecodeFrame never panics and never over-allocates — every length
+//     field is validated against the remaining input before use, so a
+//     body claiming a 4096-entry route must actually carry the bytes;
+//   - anything it accepts re-encodes canonically: encode(decode(b))
+//     decodes back to the identical frame (no hidden state survives a
+//     trip through the parser);
+//   - inputs over MaxFrame are refused before any work.
+func FuzzFrameDecode(f *testing.F) {
+	seed, err := EncodeFrame(sampleFrame())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:frameHdr])
+	f.Add([]byte{})
+	// A length-lying specimen: valid header, route length claiming far
+	// more entries than the body holds.
+	lie := append([]byte(nil), seed...)
+	lie[29], lie[30] = 0xFF, 0x0F
+	f.Add(lie)
+	for _, k := range []FrameKind{FrameNak, FrameMiss, FrameJoin, FrameEpoch} {
+		b, err := EncodeFrame(&Frame{Kind: k, Source: 1, Epoch: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeFrame(b)
+		if len(b) > MaxFrame {
+			if err != ErrFrameTooLarge {
+				t.Fatalf("oversized body (%d bytes): %v, want ErrFrameTooLarge", len(b), err)
+			}
+			return
+		}
+		if err != nil {
+			return // rejected is always acceptable for hostile input
+		}
+		// Accepted frames must satisfy the same bounds the encoder
+		// enforces — otherwise decode admitted what encode refuses.
+		if len(fr.Route) > maxRouteLen {
+			t.Fatalf("decode admitted a %d-entry route", len(fr.Route))
+		}
+		reenc, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		again, err := DecodeFrame(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(fr, again) {
+			t.Fatalf("decode/encode/decode not a fixed point:\n first %+v\n again %+v", fr, again)
+		}
+		// The canonical encoding of a decoded frame is the accepted
+		// body itself — the parser tolerates no redundant forms.
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("accepted body is not canonical:\n in  %x\n out %x", b, reenc)
+		}
+	})
+}

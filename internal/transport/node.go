@@ -133,7 +133,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	backoff := NewBackoff(cfg.Retry)
 	n.planner = repair.NewPlanner(repair.PullConfig{
 		MaxAttempts: cfg.MaxAttempts,
-		Delay: func(int) time.Duration { return backoff.Next() },
+		Delay:       func(int) time.Duration { return backoff.Next() },
 	})
 	n.expectAll()
 	return n, nil
@@ -197,7 +197,7 @@ func (nd *Node) Run(ctx context.Context) (*NodeResult, error) {
 	defer timer.Stop()
 	for {
 		nd.step(time.Now())
-		if nd.planner.Done() || len(nd.planner.Exhausted()) >= nd.planner.Pending() {
+		if nd.planner.Terminal() {
 			// Whether complete or out of repair budget, make sure our
 			// own copies are all injected before leaving the loop —
 			// peers may still be pulling them (Serve answers those).

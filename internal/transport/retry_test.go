@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -171,5 +173,101 @@ func TestBreakerStateStrings(t *testing.T) {
 		if s.String() != want {
 			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, s, want)
 		}
+	}
+}
+
+// TestBreakerConcurrentSingleProbe hammers one tripped breaker from
+// many goroutines mixing Allow, the non-mutating Admittable poll, and
+// outcome recording. The contract under contention: after the cooldown
+// elapses, exactly ONE caller wins the half-open probe slot per
+// open→half-open transition — concurrent Allow calls during the probe
+// are refused — and Admittable never steals the slot. Run under -race
+// this also proves the locking.
+func TestBreakerConcurrentSingleProbe(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	cfg := BreakerConfig{Threshold: 3, Cooldown: time.Second}
+	b := newBreakerAt(cfg, clock)
+	for i := 0; i < cfg.Threshold; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker %v after %d failures, want open", b.State(), cfg.Threshold)
+	}
+
+	const goroutines = 32
+	for round := 0; round < 50; round++ {
+		// Cooldown not yet elapsed: nobody gets in, Admittable agrees.
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.Admittable() {
+					admitted.Add(1)
+				}
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if admitted.Load() != 0 {
+			t.Fatalf("round %d: %d callers admitted before cooldown", round, admitted.Load())
+		}
+
+		// Cooldown elapsed: every Admittable poll may say yes, but the
+		// probe slot goes to exactly one Allow winner.
+		advance(cfg.Cooldown)
+		var wins atomic.Int64
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = b.Admittable() // non-mutating poll must not steal the slot
+				if b.Allow() {
+					wins.Add(1)
+				}
+				_ = b.Admittable()
+			}()
+		}
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("round %d: %d probe winners, want exactly 1", round, wins.Load())
+		}
+		if b.State() != BreakerHalfOpen {
+			t.Fatalf("round %d: state %v after probe admission, want half-open", round, b.State())
+		}
+		// The losing probe re-opens the breaker for the next round.
+		b.Failure()
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: failed probe left state %v, want open", round, b.State())
+		}
+	}
+
+	// A winning probe closes it for everyone.
+	advance(cfg.Cooldown)
+	if !b.Allow() {
+		t.Fatal("post-cooldown probe refused")
+	}
+	b.Success()
+	var wg sync.WaitGroup
+	var refused atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !b.Allow() || !b.Admittable() {
+				refused.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if refused.Load() != 0 {
+		t.Fatalf("%d callers refused on a closed breaker", refused.Load())
 	}
 }
