@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick transport-quick soak-quick q14-smoke verify
+.PHONY: all build test race vet bench bench-engine bench-fault fuzz smoke-engine sharded-quick recovery-quick oracle-quick families-quick transport-quick soak-quick q14-smoke verify
 
 all: verify
 
@@ -43,9 +43,11 @@ bench-fault:
 # temporal-plan validator/compiler (the spots that take adversarial
 # bytes or adversarial plans), the metrics merge (worker-count
 # independence of the observability aggregates), the calendar queue
-# (differential pop-order equivalence against the reference heap), and
-# the transport wire codec (decode never panics, accepted frames
-# re-encode canonically), mirroring the CI budget.
+# (differential pop-order equivalence against the reference heap), the
+# transport wire codec (decode never panics, accepted frames re-encode
+# canonically), and the decomposition registry (family constructors
+# never panic on arbitrary parameters; valid instances build and their
+# names round-trip), mirroring the CI budget.
 fuzz:
 	$(GO) test -fuzz=FuzzVoteUnsigned -fuzztime=15s ./internal/reliable
 	$(GO) test -fuzz=FuzzKeyringVerify -fuzztime=15s ./internal/reliable
@@ -53,6 +55,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzMetricsMerge -fuzztime=15s ./internal/observe
 	$(GO) test -fuzz=FuzzCalendarQueue -fuzztime=15s ./internal/simnet
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=15s ./internal/transport
+	$(GO) test -fuzz=FuzzFamilyParams -fuzztime=15s ./internal/hamilton
 
 # Engine-regression smoke: one measured Q10 ATA run; fails if
 # allocs/event exceeds 10x, or ns/event exceeds 1.15x (best of three
@@ -101,6 +104,18 @@ oracle-quick:
 		echo "oracle-quick: strict oracle correctly rejected the η < μ run"; \
 	fi
 
+# Quick family-registry gate: the cross-family conformance suite
+# (every registered family's instances through build validity, static
+# contention-freeness, exact live-oracle finish, γ-copy postcondition,
+# and sharded byte-identity), one quick adversarial campaign point on
+# the new families (TQ4 + the 4-ary 2-torus), and the quick `families`
+# experiment (IHC finish vs the Table II closed form on twisted cubes
+# and vs the Jung-Sakho per-link load bound on k-ary tori).
+families-quick:
+	$(GO) test -count=1 -run TestCrossFamilyConformance ./internal/hamilton
+	$(GO) run ./cmd/faultcamp -quick -topo tq4,kt4x2 -o /dev/null
+	$(GO) run ./cmd/ihcbench -quick -run families
+
 # Counters-only Q14 full-ATA smoke: the paper-scale memory-boundedness
 # check. The O(N) copy ledger replaces both the O(N²) matrix and the
 # O(events) delivery log, so the ~3.8e9-event run holds a bounded
@@ -140,6 +155,7 @@ soak-quick:
 # The tier-1 gate: vet + build + tests, then the same tests under the
 # race detector (the parallel sweep executor must stay race-clean),
 # then the engine-allocation smoke, the sharded-engine equivalence
-# smoke, the quick recovery sweep, the quick oracle sweep, the
-# real-transport multi-process smoke, and the streaming chaos soak.
-verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick transport-quick soak-quick
+# smoke, the quick recovery sweep, the quick oracle sweep, the quick
+# family-registry gate, the real-transport multi-process smoke, and
+# the streaming chaos soak.
+verify: vet build test race smoke-engine sharded-quick recovery-quick oracle-quick families-quick transport-quick soak-quick

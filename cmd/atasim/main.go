@@ -439,31 +439,20 @@ func sizeOf(g *topology.Graph, prefix string) (int, bool) {
 	return m, err == nil
 }
 
+// buildGraph resolves the -net name through the decomposition registry,
+// so every registered family (Q, SQ, H, T, TQ, KT) is simulatable
+// without per-family dispatch here. Names are case-insensitive.
 func buildGraph(name string) (*topology.Graph, error) {
-	if m, ok := parseNet(name, "SQ"); ok {
-		return topology.SquareTorus(m)
+	canon := strings.ReplaceAll(strings.ToUpper(name), "X", "x")
+	in, err := hamilton.Parse(canon)
+	if err != nil {
+		keys := make([]string, 0, 8)
+		for _, f := range hamilton.Families() {
+			keys = append(keys, f.Key()+"...")
+		}
+		return nil, fmt.Errorf("cannot parse network %q (registered families: %s)", name, strings.Join(keys, ", "))
 	}
-	if dims, ok := topology.TorusDims(name); ok {
-		return topology.TorusND(dims...)
-	}
-	if m, ok := parseNet(name, "Q"); ok {
-		return topology.Hypercube(m)
-	}
-	if m, ok := parseNet(name, "H"); ok {
-		return topology.HexMesh(m)
-	}
-	return nil, fmt.Errorf("atasim: cannot parse network %q (want Q<m>, SQ<m>, H<m>, or T<k1>x<k2>x...)", name)
-}
-
-func parseNet(name, prefix string) (int, bool) {
-	if !strings.HasPrefix(name, prefix) {
-		return 0, false
-	}
-	m, err := strconv.Atoi(name[len(prefix):])
-	if err != nil || m <= 0 {
-		return 0, false
-	}
-	return m, true
+	return in.Graph()
 }
 
 func fail(err error) {

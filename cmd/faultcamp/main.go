@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	faultcamp                          # sq4,q4,q6,h3 at full budget
+//	faultcamp                          # sq4,q4,q6,h3,tq4,kt4x2 at full budget
 //	faultcamp -quick                   # smaller budgets (seconds)
 //	faultcamp -topo sq4,h3 -samples 20000
 //	faultcamp -repair                  # also sweep the self-healing frontier
@@ -70,7 +70,7 @@ type repairedFrontier struct {
 
 func main() {
 	var (
-		topos   = flag.String("topo", "sq4,q4,q6,h3", "comma-separated topologies (sqM, qN, hM)")
+		topos   = flag.String("topo", "sq4,q4,q6,h3,tq4,kt4x2", "comma-separated topologies (any registered family: sqM, qN, hM, tqN, ktKxN, tK1xK2...)")
 		budget  = flag.Int("budget", 50000, "largest placement count enumerated exhaustively")
 		samples = flag.Int("samples", 10000, "random placements per point beyond the budget")
 		seed    = flag.Int64("seed", 1, "campaign seed (sampling and Byzantine coins)")
@@ -328,36 +328,22 @@ func preflight(x *core.IHC) error {
 	return orc.Finalize()
 }
 
-// parseTopo maps a short topology name (sq4, q6, h3) to its graph.
+// parseTopo maps a topology name (sq4, q6, h3, tq4, kt4x2, t4x4 — case
+// insensitive) to its graph through the decomposition registry, so the
+// campaign accepts every registered family without its own switch.
 func parseTopo(s string) (*topology.Graph, error) {
-	num := func(prefix string) (int, error) {
-		n, err := strconv.Atoi(strings.TrimPrefix(s, prefix))
-		if err != nil || n <= 0 {
-			return 0, fmt.Errorf("bad topology %q (want sqM, qN, or hM)", s)
+	// Canonical names are uppercase except the 'x' dimension
+	// separators ("KT4x2", "T4x4").
+	canon := strings.ReplaceAll(strings.ToUpper(s), "X", "x")
+	in, err := hamilton.Parse(canon)
+	if err != nil {
+		keys := make([]string, 0, 8)
+		for _, f := range hamilton.Families() {
+			keys = append(keys, strings.ToLower(f.Key()))
 		}
-		return n, nil
+		return nil, fmt.Errorf("unknown topology %q (registered families: %s)", s, strings.Join(keys, ", "))
 	}
-	switch {
-	case strings.HasPrefix(s, "sq"):
-		m, err := num("sq")
-		if err != nil {
-			return nil, err
-		}
-		return topology.SquareTorus(m)
-	case strings.HasPrefix(s, "q"):
-		n, err := num("q")
-		if err != nil {
-			return nil, err
-		}
-		return topology.Hypercube(n)
-	case strings.HasPrefix(s, "h"):
-		m, err := num("h")
-		if err != nil {
-			return nil, err
-		}
-		return topology.HexMesh(m)
-	}
-	return nil, fmt.Errorf("unknown topology %q (want sqM, qN, or hM)", s)
+	return in.Graph()
 }
 
 func fail(err error) {

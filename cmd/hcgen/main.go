@@ -42,7 +42,7 @@ func main() {
 	fmt.Printf("%s: %d nodes, %d edges, degree %d\n", g.Name(), g.N(), g.M(), deg)
 	fmt.Printf("decomposition: %d edge-disjoint Hamiltonian cycles (verified)\n", len(cycles))
 	if unused := hamilton.UnusedEdges(g, cycles); len(unused) > 0 {
-		fmt.Printf("unused edges: %d (perfect matching, odd-dimensional hypercube)\n", len(unused))
+		fmt.Printf("unused edges: %d (reduced-reliability decomposition)\n", len(unused))
 	} else {
 		fmt.Printf("unused edges: 0 (full Hamiltonian decomposition)\n")
 	}
@@ -59,28 +59,18 @@ func main() {
 	}
 }
 
+// buildGraph resolves a network name through the decomposition
+// registry, so hcgen prints cycles for every registered family
+// (Q, SQ, H, T, TQ, KT). Names are case-insensitive.
 func buildGraph(name string) (*topology.Graph, error) {
-	parse := func(prefix string) (int, bool) {
-		if !strings.HasPrefix(name, prefix) {
-			return 0, false
+	canon := strings.ReplaceAll(strings.ToUpper(name), "X", "x")
+	in, err := hamilton.Parse(canon)
+	if err != nil {
+		keys := make([]string, 0, 8)
+		for _, f := range hamilton.Families() {
+			keys = append(keys, f.Key()+"...")
 		}
-		m, err := strconv.Atoi(name[len(prefix):])
-		if err != nil || m <= 0 {
-			return 0, false
-		}
-		return m, true
+		return nil, fmt.Errorf("hcgen: cannot parse network %q (registered families: %s)", name, strings.Join(keys, ", "))
 	}
-	if m, ok := parse("SQ"); ok {
-		return topology.SquareTorus(m)
-	}
-	if dims, ok := topology.TorusDims(name); ok {
-		return topology.TorusND(dims...)
-	}
-	if m, ok := parse("Q"); ok {
-		return topology.Hypercube(m)
-	}
-	if m, ok := parse("H"); ok {
-		return topology.HexMesh(m)
-	}
-	return nil, fmt.Errorf("hcgen: cannot parse network %q (want Q<m>, SQ<m>, H<m>, or T<k1>x<k2>x...)", name)
+	return in.Graph()
 }

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"testing"
+
+	"ihc/internal/fault"
+	"ihc/internal/topology"
+)
+
+// TestFamiliesUnsignedNoisyLinkFrontier extends the bound/bound+1
+// property suite to the registry's new families. TQ_4 and the 4-ary
+// 2-torus both have γ=4, so the exact unsigned frontier is the same as
+// SQ4/Q4: every placement of ⌈γ/2⌉−1 = 1 noisy link delivers, and at
+// t=2 the campaign finds and shrinks a tie. TQ_5 runs the decomposition
+// in reduced-reliability mode (two HCs on a 5-regular graph, 16 of 80
+// links on no cycle), which exercises the grader's off-cycle handling —
+// the frontier must still land exactly on the γ=4 bound.
+func TestFamiliesUnsignedNoisyLinkFrontier(t *testing.T) {
+	for _, tc := range []struct {
+		g     *topology.Graph
+		bound int // ⌈γ/2⌉−1
+	}{
+		{topology.MustTwistedCube(4), 1},  // TQ4, γ=4, full cover
+		{topology.MustKAryTorus(4, 2), 1}, // KT4x2, γ=4
+		{topology.MustTwistedCube(5), 1},  // TQ5, γ=4, reduced mode
+	} {
+		x := mustIHC(t, tc.g)
+		if got := x.Gamma(); got != 2*(tc.bound+1) {
+			t.Fatalf("%s: γ = %d, want %d", tc.g.Name(), got, 2*(tc.bound+1))
+		}
+		base := Point{X: x, Domain: DomainLinks, Kind: fault.Corrupt, Seed: 1}
+		f, err := RunFrontier(base, quickSearch(), tc.bound+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.MaxSafe != tc.bound || f.MinBroken != tc.bound+1 {
+			t.Errorf("%s unsigned noisy links: MaxSafe=%d MinBroken=%d, want %d/%d (reports %+v)",
+				tc.g.Name(), f.MaxSafe, f.MinBroken, tc.bound, tc.bound+1, f.Reports)
+			continue
+		}
+		for _, rep := range f.Reports[:tc.bound] {
+			if !rep.Exhaustive {
+				t.Errorf("%s t=%d: expected exhaustive enumeration, got sampling", tc.g.Name(), rep.T)
+			}
+			if rep.Violations != 0 {
+				t.Errorf("%s t=%d: %d violations at or below the bound", tc.g.Name(), rep.T, rep.Violations)
+			}
+		}
+		broken := f.Reports[tc.bound]
+		if !broken.Confirmed || len(broken.Counterexample) == 0 {
+			t.Errorf("%s t=%d: violation not confirmed/shrunk: %+v", tc.g.Name(), broken.T, broken)
+		}
+		// At t = γ/2 the failure mode is a tie: votes go missing,
+		// never wrong (corrupted copies can tie but not outnumber).
+		if o := broken.CounterexampleOutcome; o.Wrong != 0 || o.Missing == 0 {
+			t.Errorf("%s t=%d counterexample outcome %+v: want missing>0, wrong=0", tc.g.Name(), broken.T, o)
+		}
+	}
+}
+
+// TestFamiliesSignedNoisyLinkFrontier: with MACs the new families obey
+// the same γ−1 bound as class Λ — both TQ_4 and KT4x2 have 32 links, so
+// the whole frontier through t=γ=4 (C(32,4) = 35960 placements) is
+// enumerated exhaustively within the quick budget.
+func TestFamiliesSignedNoisyLinkFrontier(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.MustTwistedCube(4),
+		topology.MustKAryTorus(4, 2),
+	} {
+		x := mustIHC(t, g)
+		gamma := x.Gamma()
+		base := Point{X: x, Signed: true, Domain: DomainLinks, Kind: fault.Corrupt, Seed: 1}
+		f, err := RunFrontier(base, quickSearch(), gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.MaxSafe != gamma-1 || f.MinBroken != gamma {
+			t.Errorf("%s signed noisy links: MaxSafe=%d MinBroken=%d, want %d/%d",
+				g.Name(), f.MaxSafe, f.MinBroken, gamma-1, gamma)
+			continue
+		}
+		broken := f.Reports[len(f.Reports)-1]
+		if !broken.Confirmed {
+			t.Errorf("%s signed t=%d: counterexample not confirmed", g.Name(), broken.T)
+		}
+		if o := broken.CounterexampleOutcome; o.Wrong != 0 {
+			t.Errorf("%s signed counterexample has wrong deliveries: %+v", g.Name(), o)
+		}
+	}
+}

@@ -185,43 +185,6 @@ func MultiTorus(dims ...int) ([]Cycle, error) {
 	return out, nil
 }
 
-// Decompose returns the class-Λ Hamiltonian decomposition for the
-// supported network families, dispatching on the graph's constructor name
-// (Q<m>, SQ<m>, H<m>, T<k1>x<k2>x...). The result is fully verified
-// against g before being returned: every cycle Hamiltonian, pairwise
-// edge-disjoint, and covering all edges except for odd-dimensional
-// hypercubes (where a perfect matching remains unused, as in the paper).
-func Decompose(g *topology.Graph) ([]Cycle, error) {
-	var (
-		cycles []Cycle
-		err    error
-		cover  = true
-	)
-	var m int
-	switch {
-	case scan(g.Name(), "Q", &m):
-		cycles, err = Hypercube(m)
-		cover = m%2 == 0
-	case scan(g.Name(), "SQ", &m):
-		cycles, err = SquareTorus(m)
-	case scan(g.Name(), "H", &m):
-		cycles, err = HexMesh(m)
-	default:
-		if dims, ok := topology.TorusDims(g.Name()); ok {
-			cycles, err = MultiTorus(dims...)
-			break
-		}
-		return nil, fmt.Errorf("hamilton: no decomposition rule for %q", g.Name())
-	}
-	if err != nil {
-		return nil, err
-	}
-	if err := VerifyDecomposition(g, cycles, cover); err != nil {
-		return nil, fmt.Errorf("hamilton: %s decomposition invalid: %w", g.Name(), err)
-	}
-	return cycles, nil
-}
-
 // scan parses names of the form <prefix><integer>.
 func scan(name, prefix string, m *int) bool {
 	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {

@@ -1,0 +1,157 @@
+package hamilton
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ihc/internal/topology"
+)
+
+// Family is one registered topology family: a parameterized class of
+// graphs together with its edge-disjoint Hamiltonian cycle
+// construction. Families register themselves at init time; everything
+// downstream — Decompose, the harness experiments, the fault campaign
+// topology parser, and the cross-family conformance suite — dispatches
+// through the registry instead of a hard-coded family switch, so a new
+// family gets the full verification stack by registering.
+type Family interface {
+	// Key is the short family identifier ("Q", "SQ", "H", "T", "TQ",
+	// "KT"), unique across the registry.
+	Key() string
+	// Describe is a one-line human description of the family.
+	Describe() string
+	// New validates params and returns the family member they select.
+	// Invalid parameters return an error — never a panic: this is the
+	// contract FuzzFamilyParams enforces.
+	New(params ...int) (*Instance, error)
+	// ParseName recovers the parameters from a canonical graph name
+	// (the name the family's topology constructor bakes into the
+	// Graph), reporting ok=false for names of other families.
+	ParseName(name string) ([]int, bool)
+	// Conformance lists small parameter sets the cross-family
+	// conformance suite runs for this family.
+	Conformance() [][]int
+}
+
+// Instance is one concrete family member. The graph and decomposition
+// are constructed lazily — New only validates parameters and computes
+// the instance's invariants, so enumerating or fuzzing the registry is
+// cheap even for large parameterizations.
+type Instance struct {
+	// FamilyKey is the owning family's Key().
+	FamilyKey string
+	// Name is the canonical graph name ("TQ4", "KT4x2", "Q6", ...).
+	Name string
+	// Params are the validated family parameters.
+	Params []int
+	// N is the node count.
+	N int
+	// Gamma is the number of directed Hamiltonian cycles (message
+	// copies): twice the undirected cycle count.
+	Gamma int
+	// FullCover reports whether the undirected cycles cover every
+	// edge of the graph (a full Hamiltonian decomposition). False for
+	// odd hypercubes and twisted cubes with n != 4, which run IHC in
+	// reduced-reliability mode.
+	FullCover bool
+
+	graph     func() (*topology.Graph, error)
+	decompose func() ([]Cycle, error)
+}
+
+// Graph constructs the instance's graph.
+func (in *Instance) Graph() (*topology.Graph, error) { return in.graph() }
+
+// Build constructs the graph and its decomposition and verifies the
+// decomposition against both the graph and the instance's declared
+// invariants (Gamma, FullCover).
+func (in *Instance) Build() (*topology.Graph, []Cycle, error) {
+	g, err := in.graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	cycles, err := in.decompose()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := VerifyDecomposition(g, cycles, in.FullCover); err != nil {
+		return nil, nil, fmt.Errorf("hamilton: %s decomposition invalid: %w", in.Name, err)
+	}
+	if got := 2 * len(cycles); got != in.Gamma {
+		return nil, nil, fmt.Errorf("hamilton: %s declared γ=%d but decomposition yields %d directed cycles", in.Name, in.Gamma, got)
+	}
+	return g, cycles, nil
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Family{}
+)
+
+// Register adds a family to the registry. A duplicate key panics:
+// registration is init-time wiring, and a collision is a programming
+// error, not a runtime condition.
+func Register(f Family) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	key := f.Key()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("hamilton: family %q registered twice", key))
+	}
+	registry[key] = f
+}
+
+// Families returns every registered family, sorted by key for
+// deterministic iteration order.
+func Families() []Family {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Family, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// FamilyByKey looks a family up by its registry key.
+func FamilyByKey(key string) (Family, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[key]
+	return f, ok
+}
+
+// Parse resolves a canonical graph name ("Q6", "SQ4", "T4x4x4", "TQ5",
+// "KT4x2", ...) against every registered family and returns the
+// matching instance.
+func Parse(name string) (*Instance, error) {
+	for _, f := range Families() {
+		if params, ok := f.ParseName(name); ok {
+			return f.New(params...)
+		}
+	}
+	return nil, fmt.Errorf("hamilton: no decomposition rule for %q", name)
+}
+
+// Decompose returns the Hamiltonian decomposition for any graph of a
+// registered family, dispatching on the graph's constructor name. The
+// result is fully verified against g before being returned: every
+// cycle Hamiltonian, pairwise edge-disjoint, and covering all edges
+// when the family declares full cover (odd hypercubes and most twisted
+// cubes legitimately leave edges unused, as in the paper).
+func Decompose(g *topology.Graph) ([]Cycle, error) {
+	in, err := Parse(g.Name())
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := in.decompose()
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyDecomposition(g, cycles, in.FullCover); err != nil {
+		return nil, fmt.Errorf("hamilton: %s decomposition invalid: %w", g.Name(), err)
+	}
+	return cycles, nil
+}

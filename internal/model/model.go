@@ -133,6 +133,19 @@ func OptimalATATime(p Params, n int) simnet.Time {
 	return p.TauS + simnet.Time(n-1)*p.Alpha
 }
 
+// JungSakhoBound returns τ_S + (N-1)μα: the per-link load lower bound
+// on γ-copy reliable ATA broadcast over a γ-cycle decomposition,
+// generalizing Theorem 4 to μ-packet messages. Jung & Sakho's
+// construction gives γ = 2n edge-disjoint Hamiltonian cycles on the
+// k-ary n-dimensional torus, so every node sources γ(N-1) message
+// copies of μα each over exactly γ dedicated outgoing links: some link
+// carries N-1 messages after one startup. At μ = 1 this is exactly
+// OptimalATATime; IHC with η = μ meets it up to the fixed pipelining
+// term (η-1)(τ_S + μα), independent of N.
+func JungSakhoBound(p Params, n int) simnet.Time {
+	return p.TauS + simnet.Time(n-1)*p.PacketTime()
+}
+
 // MaxEtaBeatingCutThroughBaselines returns the largest interleaving
 // distance η for which IHC is faster than all other cut-through
 // ATA algorithms (Section VI-A): η <= min{log2 N - 1, 2√((N-1)/3) - 2,

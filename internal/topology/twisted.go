@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// twistedMaxDim caps TQ_n at the same 2^22-node budget as TorusND.
+const twistedMaxDim = 22
+
+// TwistedCube returns the n-dimensional twisted cube TQ_n (n >= 3) with
+// N = 2^n nodes, named "TQ<n>". The twisted cube is the classic
+// variant of the hypercube with diameter ~n/2 (Hilbers, Koppelaar &
+// Snepscheut); Hung (arXiv:1006.3909) shows TQ_n carries two
+// edge-disjoint Hamiltonian cycles, which is what makes it interesting
+// here: it is NOT in the paper's class Λ (it is not edge-decomposable
+// into Hamiltonian cycles for n >= 5), yet IHC runs on it in the same
+// reduced-reliability mode as odd hypercubes.
+//
+// For odd n the standard definition is used. Addresses are n-bit
+// integers; writing P_i(u) for the parity of bits 0..i of u, node u is
+// adjacent to:
+//
+//   - u ^ 1 (dimension 0);
+//   - for each bit pair (2k, 2k-1), 1 <= k <= (n-1)/2: the node with
+//     both bits flipped, plus — depending on the pair parity
+//     P_{2k-2}(u) — the node with only bit 2k flipped (parity 0) or
+//     only bit 2k-1 flipped (parity 1).
+//
+// Twisted cubes are classically defined only for odd n. For even n
+// this package uses the standard product extension TQ_n = K_2 x
+// TQ_{n-1}: bit n-1 is an ordinary (untwisted) hypercube dimension.
+// Every TQ_n is n-regular.
+func TwistedCube(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: TwistedCube requires n >= 3, got %d", n)
+	}
+	if n > twistedMaxDim {
+		return nil, fmt.Errorf("topology: TwistedCube dimension %d exceeds the 2^%d-node cap", n, twistedMaxDim)
+	}
+	size := 1 << n
+	g := New(fmt.Sprintf("TQ%d", n), size)
+	add := func(u, v int) {
+		if u < v {
+			g.AddEdge(Node(u), Node(v))
+		}
+	}
+	pairs := (n - 1) / 2
+	for u := 0; u < size; u++ {
+		add(u, u^1)
+		for k := 1; k <= pairs; k++ {
+			hi, lo := 2*k, 2*k-1
+			add(u, u^(1<<hi|1<<lo))
+			// P_{2k-2}(u): parity of bits 0..2k-2. Flipping bit hi
+			// or lo leaves it unchanged, so the relation is
+			// symmetric and the u < v guard adds each edge once.
+			if bits.OnesCount(uint(u)&(1<<lo-1))%2 == 0 {
+				add(u, u^(1<<hi))
+			} else {
+				add(u, u^(1<<lo))
+			}
+		}
+		if n%2 == 0 {
+			add(u, u^(1<<(n-1)))
+		}
+	}
+	return g, nil
+}
+
+// MustTwistedCube is TwistedCube for statically known-good dimensions.
+func MustTwistedCube(n int) *Graph { return must(TwistedCube(n)) }
+
+// TwistedDim parses a TwistedCube name "TQ<n>" back into its dimension,
+// returning ok=false for other names.
+func TwistedDim(name string) (int, bool) {
+	if len(name) < 3 || name[:2] != "TQ" {
+		return 0, false
+	}
+	n := 0
+	for _, ch := range name[2:] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n, true
+}
+
+// KAryTorus returns the k-ary n-dimensional torus — n dimensions of
+// extent k each — named "KT<k>x<n>" to keep the family distinct from
+// the mixed-radix TorusND("T<k1>x<k2>...") spelling. Node numbering is
+// identical to TorusND(k, ..., k) (mixed radix, last dimension
+// fastest), so every TorusND helper applies unchanged. This is the
+// topology of the Jung & Sakho ATA-optimality bound (arXiv:0909.1374):
+// degree 2n, N = k^n.
+func KAryTorus(k, n int) (*Graph, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("topology: KAryTorus arity must be >= 3, got %d", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: KAryTorus needs >= 1 dimension, got %d", n)
+	}
+	size := 1
+	for i := 0; i < n; i++ {
+		if size > 1<<22/k {
+			return nil, fmt.Errorf("topology: KAryTorus(%d,%d) exceeds the 2^22-node cap", k, n)
+		}
+		size *= k
+	}
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = k
+	}
+	t, err := TorusND(dims...)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild under the family's own name; TorusND already validated
+	// and constructed the edge set.
+	g := New(fmt.Sprintf("KT%dx%d", k, n), size)
+	for _, e := range t.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	return g, nil
+}
+
+// MustKAryTorus is KAryTorus for statically known-good parameters.
+func MustKAryTorus(k, n int) *Graph { return must(KAryTorus(k, n)) }
+
+// KAryDims parses a KAryTorus name "KT<k>x<n>" back into (k, n),
+// returning ok=false for other names.
+func KAryDims(name string) (k, n int, ok bool) {
+	if len(name) < 5 || name[:2] != "KT" {
+		return 0, 0, false
+	}
+	dims, ok := TorusDims(name[1:]) // "T<k>x<n>"
+	if !ok || len(dims) != 2 {
+		return 0, 0, false
+	}
+	return dims[0], dims[1], true
+}
